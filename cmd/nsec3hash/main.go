@@ -1,0 +1,69 @@
+// Command nsec3hash computes the RFC 5155 hashed owner name of a
+// domain, in the spirit of the classic BIND nsec3hash(1) utility:
+//
+//	nsec3hash <salt-hex|-> <algorithm> <iterations> <domain>
+//
+// Example (RFC 5155 Appendix A vector):
+//
+//	$ nsec3hash AABBCCDD 1 12 example
+//	0p9mhaveqvm6t7vbl5lop2u3t2rp3tom (salt=AABBCCDD, hash=1, iterations=12)
+package main
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dnswire"
+	"repro/internal/nsec3"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nsec3hash:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 4 {
+		return fmt.Errorf("usage: nsec3hash <salt-hex|-> <algorithm> <iterations> <domain>")
+	}
+	var salt []byte
+	if args[0] != "-" && args[0] != "" {
+		var err error
+		if salt, err = hex.DecodeString(strings.ToLower(args[0])); err != nil {
+			return fmt.Errorf("bad salt: %w", err)
+		}
+	}
+	alg, err := strconv.ParseUint(args[1], 10, 8)
+	if err != nil {
+		return fmt.Errorf("bad algorithm: %w", err)
+	}
+	iters, err := strconv.ParseUint(args[2], 10, 16)
+	if err != nil {
+		return fmt.Errorf("bad iterations: %w", err)
+	}
+	name, err := dnswire.ParseName(args[3])
+	if err != nil {
+		return fmt.Errorf("bad domain: %w", err)
+	}
+	p := nsec3.Params{
+		Alg:        dnswire.NSEC3HashAlg(alg),
+		Iterations: uint16(iters),
+		Salt:       salt,
+	}
+	h, err := nsec3.Hash(name, p)
+	if err != nil {
+		return err
+	}
+	saltStr := "-"
+	if len(salt) > 0 {
+		saltStr = strings.ToUpper(hex.EncodeToString(salt))
+	}
+	fmt.Printf("%s (salt=%s, hash=%d, iterations=%d)\n",
+		nsec3.EncodeHash(h), saltStr, alg, iters)
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunVector(t *testing.T) {
+	// RFC 5155 Appendix A vector; run prints to stdout, so only the
+	// error path is asserted here (the hash itself is covered in
+	// internal/nsec3).
+	if err := run([]string{"AABBCCDD", "1", "12", "example"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-", "1", "0", "example.com"}); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{},
+		{"AABB", "1", "12"},
+		{"nothex", "1", "12", "example"},
+		{"AABB", "abc", "12", "example"},
+		{"AABB", "1", "notanumber", "example"},
+		{"AABB", "1", "12", "bad..name"},
+		{"AABB", "2", "12", "example"}, // unknown hash algorithm
+	}
+	for _, c := range cases {
+		if err := run(c); err == nil {
+			t.Errorf("run(%v) accepted", c)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command resolved runs the validating recursive resolver over real
+// UDP/TCP sockets with a chosen NSEC3 iteration policy — point dig at
+// it and watch RFC 9276 Items 6–12 in action.
+//
+//	resolved -listen 127.0.0.1:5301 -root 127.0.0.1:5300 \
+//	         -anchor <ds-record> -profile bind9-2021
+//
+// The -profile values are the vendor behaviours the paper measured
+// (see internal/respop): bind9-2021, bind9-cve-patched, unbound-2021,
+// google-public-dns, quad9, cloudflare, opendns, technitium,
+// strict-zero, legacy-2018, item7-violator, three-phase,
+// non-validating.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/resolver"
+	"repro/internal/respop"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "resolved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:5301", "UDP/TCP listen address")
+		rootArg = flag.String("root", "", "root name server address (required)")
+		anchor  = flag.String("anchor", "", "trust anchor DS RDATA: 'keytag alg digesttype hex' (empty = no validation)")
+		profile = flag.String("profile", "bind9-2021", "policy profile name")
+	)
+	flag.Parse()
+	if *rootArg == "" {
+		flag.Usage()
+		return fmt.Errorf("-root is required")
+	}
+	rootAddr, err := netip.ParseAddrPort(*rootArg)
+	if err != nil {
+		return fmt.Errorf("bad -root: %w", err)
+	}
+	var prof *respop.Profile
+	for _, p := range respop.Profiles() {
+		if p.Policy.Name == *profile {
+			prof = &p
+			break
+		}
+	}
+	if prof == nil {
+		var names []string
+		for _, p := range respop.Profiles() {
+			names = append(names, p.Policy.Name)
+		}
+		return fmt.Errorf("unknown profile %q; have: %s", *profile, strings.Join(names, ", "))
+	}
+	cfg := resolver.Config{
+		Roots:     []netip.AddrPort{rootAddr},
+		Exchanger: &netsim.UDPExchanger{},
+		Policy:    prof.Policy,
+	}
+	if *anchor != "" {
+		ds, err := parseDS(*anchor)
+		if err != nil {
+			return err
+		}
+		cfg.TrustAnchor = []dnswire.DS{ds}
+	}
+	res := resolver.New(cfg)
+	srv := &netsim.Server{Handler: res}
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resolved: %s (%s) listening on %s, root %s, validation=%v\n",
+		prof.Policy.Name, prof.Vendor, addr, rootAddr, len(cfg.TrustAnchor) > 0)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return srv.Close()
+}
+
+// parseDS parses "keytag alg digesttype hexdigest".
+func parseDS(s string) (dnswire.DS, error) {
+	var tag, alg, dt int
+	var digest string
+	if _, err := fmt.Sscanf(s, "%d %d %d %s", &tag, &alg, &dt, &digest); err != nil {
+		return dnswire.DS{}, fmt.Errorf("bad -anchor (want 'keytag alg digesttype hex'): %w", err)
+	}
+	raw := make([]byte, len(digest)/2)
+	if _, err := fmt.Sscanf(strings.ToLower(digest), "%x", &raw); err != nil {
+		return dnswire.DS{}, fmt.Errorf("bad -anchor digest: %w", err)
+	}
+	return dnswire.DS{
+		KeyTag:     uint16(tag),
+		Algorithm:  dnswire.SecAlgorithm(alg),
+		DigestType: dnswire.DigestType(dt),
+		Digest:     raw,
+	}, nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestParseDS(t *testing.T) {
+	ds, err := parseDS("12345 13 2 49FD46E6C4B45C55D4AC69CBD3CD34AC1AFE51DE52FE34EF3C5CF9E04F3C5CF9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.KeyTag != 12345 || uint8(ds.Algorithm) != 13 || uint8(ds.DigestType) != 2 {
+		t.Fatalf("ds = %+v", ds)
+	}
+	if len(ds.Digest) != 32 {
+		t.Fatalf("digest %d bytes", len(ds.Digest))
+	}
+	for _, bad := range []string{"", "1 2", "x y z w", "1 2 3 nothex!"} {
+		if _, err := parseDS(bad); err == nil {
+			t.Errorf("parseDS(%q) accepted", bad)
+		}
+	}
+}

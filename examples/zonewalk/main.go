@@ -1,0 +1,132 @@
+// Zonewalk demonstrates why NSEC3 exists (paper §1/§2.2): an NSEC
+// chain lets anyone enumerate a zone by following NextName pointers,
+// while NSEC3 only leaks hashes — and then shows why RFC 9276 says the
+// protection is thin anyway: a dictionary of predictable labels (www,
+// api, mail…) cracks most hashed names no matter how many iterations
+// the zone pays for.
+//
+//	go run ./examples/zonewalk
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/netip"
+
+	"repro/internal/authserver"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/nsec3"
+	"repro/internal/zone"
+)
+
+// The zone's "secret" subdomains — some guessable, one not.
+var labels = []string{"www", "api", "mail", "ftp", "vpn", "staging", "xk77-secret-project"}
+
+// The attacker's dictionary of predictable names.
+var dictionary = []string{
+	"www", "api", "mail", "ftp", "vpn", "ns1", "ns2", "staging",
+	"dev", "test", "webmail", "smtp", "imap", "admin", "portal",
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildZone(denial zone.DenialMode, iterations uint16) (*zone.Signed, error) {
+	apex := dnswire.MustParseName("victim.example")
+	z := zone.New(apex, 300)
+	z.MustAdd(dnswire.RR{Name: apex, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.SOA{
+		MName: apex.MustChild("ns1"), RName: apex.MustChild("hostmaster"),
+		Serial: 1, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300,
+	}})
+	z.MustAdd(dnswire.RR{Name: apex, Class: dnswire.ClassIN, TTL: 3600,
+		Data: dnswire.NS{Host: apex.MustChild("ns1")}})
+	for i, l := range append([]string{"ns1"}, labels...) {
+		z.MustAdd(dnswire.RR{Name: apex.MustChild(l), Class: dnswire.ClassIN, TTL: 300,
+			Data: dnswire.A{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)})}})
+	}
+	return z.Sign(zone.SignConfig{
+		Denial:     denial,
+		NSEC3:      nsec3.Params{Iterations: iterations, Salt: []byte{0xAB, 0xCD}},
+		Inception:  1709251200,
+		Expiration: 1717200000,
+	})
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// ---- Part 1: walking an NSEC zone.
+	nsecZone, err := buildZone(zone.DenialNSEC, 0)
+	if err != nil {
+		return err
+	}
+	net := netsim.NewNetwork(1)
+	srv := authserver.New()
+	srv.AddZone(nsecZone)
+	addr := netsim.Addr4(192, 0, 2, 53)
+	net.Register(addr, srv)
+
+	fmt.Println("== NSEC zone walk (victim.example, plain NSEC):")
+	cur := dnswire.MustParseName("victim.example")
+	for i := 0; i < 32; i++ {
+		// Ask for a name just "after" cur to elicit the covering NSEC.
+		probe := cur.MustChild("zzz-walker")
+		q := dnswire.NewQuery(uint16(i), probe, dnswire.TypeA, true)
+		resp, err := net.Exchange(ctx, addr, q)
+		if err != nil {
+			return err
+		}
+		var next dnswire.Name
+		for _, rr := range resp.Authority {
+			if nsec, ok := rr.Data.(dnswire.NSEC); ok && rr.Name == cur {
+				next = nsec.NextName
+				fmt.Printf("  %-28s → next: %-28s types: %s\n", rr.Name, next, nsec.Types)
+			}
+		}
+		if next == "" || next == "victim.example." {
+			break
+		}
+		cur = next
+	}
+	fmt.Println("  the attacker now has the complete zone contents, including xk77-secret-project.")
+
+	// ---- Part 2: the same zone behind NSEC3 with 100 iterations.
+	n3zone, err := buildZone(zone.DenialNSEC3, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== Same zone with NSEC3 (100 additional iterations, salt ABCD):")
+	fmt.Println("  the chain only exposes hashed owners:")
+	params := nsec3.Params{Alg: dnswire.NSEC3HashSHA1, Iterations: 100, Salt: []byte{0xAB, 0xCD}}
+	hashes := map[string]bool{}
+	for _, rec := range n3zone.Chain().Records {
+		label := nsec3.EncodeHash(rec.OwnerHash)
+		hashes[label] = true
+		fmt.Printf("  %s\n", label)
+	}
+
+	// ---- Part 3: offline dictionary attack (the RFC 9276 rationale).
+	fmt.Println("\n== Offline dictionary attack against the harvested hashes:")
+	apex := dnswire.MustParseName("victim.example")
+	cracked := 0
+	for _, word := range dictionary {
+		h, err := nsec3.Hash(apex.MustChild(word), params)
+		if err != nil {
+			return err
+		}
+		if hashes[nsec3.EncodeHash(h)] {
+			fmt.Printf("  cracked: %-12s (hash %s)\n", word, nsec3.EncodeHash(h))
+			cracked++
+		}
+	}
+	fmt.Printf("  %d/%d zone names recovered with a %d-word dictionary despite 100 iterations.\n",
+		cracked, len(labels)+1, len(dictionary))
+	fmt.Println("  Only the unguessable label survived — which is why RFC 9276 Item 2 says")
+	fmt.Println("  extra iterations buy nothing and only burden validators (CVE-2023-50868).")
+	return nil
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dnswire"
+	"repro/internal/testbed"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := CDFFromHist(map[int]int{0: 10, 1: 60, 8: 20, 100: 9, 500: 1})
+	if c.Total() != 100 {
+		t.Fatalf("total %d", c.Total())
+	}
+	cases := []struct {
+		x    int
+		want float64
+	}{
+		{-1, 0}, {0, 0.10}, {1, 0.70}, {7, 0.70}, {8, 0.90},
+		{99, 0.90}, {100, 0.99}, {499, 0.99}, {500, 1.0}, {10000, 1.0},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-9 {
+			t.Errorf("At(%d) = %f, want %f", cse.x, got, cse.want)
+		}
+	}
+	if c.Max() != 500 {
+		t.Fatalf("Max = %d", c.Max())
+	}
+	if c.Percentile(0.5) != 1 || c.Percentile(0.999) != 500 || c.Percentile(0.9) != 8 {
+		t.Fatalf("percentiles: %d %d %d", c.Percentile(0.5), c.Percentile(0.999), c.Percentile(0.9))
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := CDFFromHist(nil)
+	if c.At(5) != 0 || c.Max() != 0 || c.Percentile(0.5) != 0 {
+		t.Fatal("empty CDF misbehaves")
+	}
+}
+
+func TestPropCDFMonotone(t *testing.T) {
+	f := func(raw map[uint8]uint8) bool {
+		hist := map[int]int{}
+		for k, v := range raw {
+			if v > 0 {
+				hist[int(k)] = int(v)
+			}
+		}
+		c := CDFFromHist(hist)
+		prev := 0.0
+		for x := -1; x <= 260; x++ {
+			cur := c.At(x)
+			if cur < prev-1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return len(hist) == 0 || math.Abs(c.At(256)-1.0) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperatorStatsTop(t *testing.T) {
+	s := NewOperatorStats()
+	for i := 0; i < 60; i++ {
+		s.Add([]string{"big-dns.com"}, 1, 8)
+	}
+	for i := 0; i < 30; i++ {
+		s.Add([]string{"mid-dns.net", "mid-dns.net"}, 0, 0) // same op twice = exclusive
+	}
+	for i := 0; i < 10; i++ {
+		s.Add([]string{"big-dns.com", "mid-dns.net"}, 5, 5) // mixed: dropped
+	}
+	rows := s.Top(10)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0].Operator != "big-dns.com" || rows[0].Domains != 60 {
+		t.Fatalf("top row %+v", rows[0])
+	}
+	if math.Abs(rows[0].Share-60.0) > 1e-9 {
+		t.Fatalf("share %f (mixed domains count in the denominator)", rows[0].Share)
+	}
+	if rows[0].Settings[0] != "1/8" || rows[1].Settings[0] != "0/0" {
+		t.Fatalf("settings %v / %v", rows[0].Settings, rows[1].Settings)
+	}
+	var sb strings.Builder
+	RenderOperatorTable(&sb, rows)
+	if !strings.Contains(sb.String(), "big-dns.com") {
+		t.Fatal("render missing operator")
+	}
+}
+
+func TestOperatorStatsSettingNoiseFiltered(t *testing.T) {
+	s := NewOperatorStats()
+	for i := 0; i < 2000; i++ {
+		s.Add([]string{"op.example"}, 1, 8)
+	}
+	s.Add([]string{"op.example"}, 77, 3) // single outlier < 0.1 %
+	rows := s.Top(1)
+	for _, set := range rows[0].Settings {
+		if set == "77/3" {
+			t.Fatal("noise setting not filtered")
+		}
+	}
+}
+
+func mkSeries() *RCodeSeries {
+	mk := func(label string, n uint16, rcode dnswire.RCode, ad bool) testbed.Observation {
+		return testbed.Observation{Label: label, Iterations: n, NXProbe: true, RCode: rcode, AD: ad}
+	}
+	// Two validators: one insecure-above-2, one servfail-above-2.
+	t1 := &testbed.Transcript{Observations: []testbed.Observation{
+		mk("it-1", 1, dnswire.RCodeNXDomain, true),
+		mk("it-2", 2, dnswire.RCodeNXDomain, true),
+		mk("it-3", 3, dnswire.RCodeNXDomain, false),
+	}}
+	t2 := &testbed.Transcript{Observations: []testbed.Observation{
+		mk("it-1", 1, dnswire.RCodeNXDomain, true),
+		mk("it-2", 2, dnswire.RCodeNXDomain, true),
+		mk("it-3", 3, dnswire.RCodeServFail, false),
+	}}
+	return BuildRCodeSeries("Test, IPv4", []*testbed.Transcript{t1, t2})
+}
+
+func TestBuildRCodeSeries(t *testing.T) {
+	s := mkSeries()
+	if s.Validators != 2 || len(s.Points) != 3 {
+		t.Fatalf("series %+v", s)
+	}
+	p1, ok := s.At(1)
+	if !ok || p1.NXDOMAIN != 100 || p1.ADNXDOMAIN != 100 || p1.SERVFAIL != 0 {
+		t.Fatalf("p1 = %+v", p1)
+	}
+	p3, _ := s.At(3)
+	if p3.NXDOMAIN != 50 || p3.ADNXDOMAIN != 0 || p3.SERVFAIL != 50 {
+		t.Fatalf("p3 = %+v", p3)
+	}
+	if _, ok := s.At(99); ok {
+		t.Fatal("At(99) hallucinated")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	var sb strings.Builder
+	s := mkSeries()
+	RenderRCodeSeries(&sb, s)
+	out := sb.String()
+	for _, want := range []string{"Test, IPv4", "NXDOMAIN", "SERVFAIL", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	SparkRender(&sb, s)
+	if !strings.Contains(sb.String(), "AD+NXDOMAIN") {
+		t.Fatal("spark render incomplete")
+	}
+	sb.Reset()
+	RenderCDF(&sb, "iterations", CDFFromHist(map[int]int{0: 1, 25: 9}), []int{0, 25})
+	if !strings.Contains(sb.String(), "10.00 %") {
+		t.Fatalf("CDF render:\n%s", sb.String())
+	}
+	sb.Reset()
+	ShareTable(&sb, "shares", []Bucket{{"compliant", 25}}, 100)
+	if !strings.Contains(sb.String(), "25.0 %") {
+		t.Fatalf("share table:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/dnswire"
+	"repro/internal/testbed"
+)
+
+// Figure 3: for each iteration count N, the share of validators
+// answering the it-N probe with NXDOMAIN, NXDOMAIN+AD, or SERVFAIL.
+
+// RCodePoint is one x-position of the Figure 3 series.
+type RCodePoint struct {
+	Iterations int
+	// Shares in percent of validators probed.
+	NXDOMAIN   float64 // all NXDOMAINs (the AD subset included, as in the paper)
+	ADNXDOMAIN float64
+	SERVFAIL   float64
+}
+
+// RCodeSeries is one subfigure (one resolver quadrant).
+type RCodeSeries struct {
+	Title      string
+	Validators int
+	Points     []RCodePoint
+}
+
+// BuildRCodeSeries aggregates transcripts (validators only — filter
+// first) into the per-iteration response shares.
+func BuildRCodeSeries(title string, transcripts []*testbed.Transcript) *RCodeSeries {
+	s := &RCodeSeries{Title: title, Validators: len(transcripts)}
+	type counts struct{ nx, adnx, sf int }
+	byIter := map[int]*counts{}
+	for _, tr := range transcripts {
+		for _, o := range tr.ItSeries() {
+			c := byIter[int(o.Iterations)]
+			if c == nil {
+				c = &counts{}
+				byIter[int(o.Iterations)] = c
+			}
+			switch {
+			case o.Err != nil:
+			case o.RCode == dnswire.RCodeNXDomain:
+				c.nx++
+				if o.AD {
+					c.adnx++
+				}
+			case o.RCode == dnswire.RCodeServFail:
+				c.sf++
+			}
+		}
+	}
+	iters := make([]int, 0, len(byIter))
+	for n := range byIter {
+		iters = append(iters, n)
+	}
+	sort.Ints(iters)
+	den := len(transcripts)
+	for _, n := range iters {
+		c := byIter[n]
+		s.Points = append(s.Points, RCodePoint{
+			Iterations: n,
+			NXDOMAIN:   pct(c.nx, den),
+			ADNXDOMAIN: pct(c.adnx, den),
+			SERVFAIL:   pct(c.sf, den),
+		})
+	}
+	return s
+}
+
+// At returns the point for iteration count n.
+func (s *RCodeSeries) At(n int) (RCodePoint, bool) {
+	for _, p := range s.Points {
+		if p.Iterations == n {
+			return p, true
+		}
+	}
+	return RCodePoint{}, false
+}
+
+// RenderRCodeSeries writes the series as a table, one row per probed
+// iteration count.
+func RenderRCodeSeries(w io.Writer, s *RCodeSeries) {
+	fmt.Fprintf(w, "Figure 3 — %s (validators=%d)\n", s.Title, s.Validators)
+	fmt.Fprintf(w, "  %6s %10s %12s %10s\n", "it-N", "NXDOMAIN", "AD+NXDOMAIN", "SERVFAIL")
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "  %6d %9.1f%% %11.1f%% %9.1f%%\n",
+			p.Iterations, p.NXDOMAIN, p.ADNXDOMAIN, p.SERVFAIL)
+	}
+}
+
+// SparkRender draws a compact ASCII chart of the three series across
+// the probed iteration values, mimicking the visual shape of Figure 3.
+func SparkRender(w io.Writer, s *RCodeSeries) {
+	levels := []rune(" .:-=+*#%@")
+	line := func(name string, get func(RCodePoint) float64) {
+		fmt.Fprintf(w, "  %-12s ", name)
+		for _, p := range s.Points {
+			idx := int(get(p) / 100 * float64(len(levels)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(levels) {
+				idx = len(levels) - 1
+			}
+			fmt.Fprintf(w, "%c", levels[idx])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%s — density over it-N (left→right: increasing N)\n", s.Title)
+	line("NXDOMAIN", func(p RCodePoint) float64 { return p.NXDOMAIN })
+	line("AD+NXDOMAIN", func(p RCodePoint) float64 { return p.ADNXDOMAIN })
+	line("SERVFAIL", func(p RCodePoint) float64 { return p.SERVFAIL })
+}

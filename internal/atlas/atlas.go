@@ -1,0 +1,100 @@
+// Package atlas simulates the RIPE Atlas measurement platform the
+// paper used to reach closed resolvers (§4.2): a fleet of vantage-point
+// probes, each with a local resolver unreachable from outside its
+// network, a scheduler enforcing the platform's concurrency limits, and
+// the platform's reporting quirk that Extended DNS Error data is not
+// exposed to the experimenter ("We have not analyzed closed resolvers,
+// since RIPE Atlas does not supply the EDE data", §5.2).
+package atlas
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"repro/internal/netsim"
+	"repro/internal/testbed"
+)
+
+// Probe is one vantage point with its configured local resolver.
+type Probe struct {
+	ID       int
+	Resolver netip.AddrPort
+	// IPv6 marks probes whose local resolver speaks IPv6.
+	IPv6 bool
+}
+
+// Platform schedules measurements over a probe fleet.
+type Platform struct {
+	// Exchanger carries probe→resolver traffic.
+	Exchanger netsim.Exchanger
+	// MaxConcurrent caps simultaneous probe measurements, as the real
+	// platform does. Zero means 100.
+	MaxConcurrent int
+
+	mu     sync.Mutex
+	probes []Probe
+}
+
+// AddProbe registers a vantage point.
+func (p *Platform) AddProbe(probe Probe) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.probes = append(p.probes, probe)
+}
+
+// Probes returns a snapshot of the fleet.
+func (p *Platform) Probes() []Probe {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Probe, len(p.probes))
+	copy(out, p.probes)
+	return out
+}
+
+// MeasurementResult pairs a probe with its resolver's transcript.
+type MeasurementResult struct {
+	Probe      Probe
+	Transcript *testbed.Transcript
+	Err        error
+}
+
+// MeasureTestbed runs the full rfc9276 probe sequence from every
+// vantage point against its local resolver, under the platform's
+// concurrency limit. EDE options are stripped from every observation,
+// mirroring the real platform's reporting.
+func (p *Platform) MeasureTestbed(ctx context.Context, uniquePrefix string) []MeasurementResult {
+	probes := p.Probes()
+	limit := p.MaxConcurrent
+	if limit <= 0 {
+		limit = 100
+	}
+	sem := make(chan struct{}, limit)
+	results := make([]MeasurementResult, len(probes))
+	var wg sync.WaitGroup
+	for i, probe := range probes {
+		wg.Add(1)
+		go func(i int, probe Probe) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			unique := fmt.Sprintf("%s-atlas-%d", uniquePrefix, probe.ID)
+			tr, err := testbed.ProbeResolver(ctx, p.Exchanger, probe.Resolver, unique)
+			if tr != nil {
+				stripEDE(tr)
+			}
+			results[i] = MeasurementResult{Probe: probe, Transcript: tr, Err: err}
+		}(i, probe)
+	}
+	wg.Wait()
+	return results
+}
+
+// stripEDE removes Extended DNS Error data from a transcript, matching
+// what the experimenter actually receives from the platform.
+func stripEDE(tr *testbed.Transcript) {
+	for i := range tr.Observations {
+		tr.Observations[i].EDE = nil
+	}
+}

@@ -1,0 +1,118 @@
+package atlas
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/compliance"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/resolver"
+	"repro/internal/respop"
+	"repro/internal/testbed"
+	"repro/internal/zone"
+)
+
+func buildWorldWithResolvers(t testing.TB, n int) (*testbed.Hierarchy, []*respop.Instance) {
+	t.Helper()
+	b := testbed.NewBuilder(1709251200, 1717200000)
+	b.AddZone(testbed.ZoneSpec{
+		Apex:   dnswire.Root,
+		Sign:   zone.SignConfig{Denial: zone.DenialNSEC},
+		Server: netsim.Addr4(198, 41, 0, 4),
+	})
+	b.AddZone(testbed.ZoneSpec{
+		Apex:   dnswire.MustParseName("com"),
+		Sign:   zone.SignConfig{Denial: zone.DenialNSEC3, OptOut: true},
+		Server: netsim.Addr4(192, 5, 6, 30),
+	})
+	testbed.InstallTestbed(b, netsim.Addr4(203, 0, 113, 10), netsim.Addr6(0x10))
+	h, err := b.Build(netsim.NewNetwork(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances, err := respop.Deploy(h, respop.DeployConfig{
+		Counts: map[respop.Quadrant]int{respop.ClosedIPv4: n},
+		Seed:   8,
+		Now:    func() uint32 { return 1712000000 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, instances
+}
+
+func TestMeasureTestbedStripsEDE(t *testing.T) {
+	h, instances := buildWorldWithResolvers(t, 15)
+	p := &Platform{Exchanger: h.Net, MaxConcurrent: 4}
+	for i, inst := range instances {
+		p.AddProbe(Probe{ID: i + 1, Resolver: inst.Addr})
+	}
+	if got := len(p.Probes()); got != 15 {
+		t.Fatalf("probes = %d", got)
+	}
+	results := p.MeasureTestbed(context.Background(), "t1")
+	if len(results) != 15 {
+		t.Fatalf("results = %d", len(results))
+	}
+	validators := 0
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("probe %d: %v", r.Probe.ID, r.Err)
+		}
+		for _, o := range r.Transcript.Observations {
+			if len(o.EDE) != 0 {
+				t.Fatalf("probe %d: EDE leaked through Atlas (%v)", r.Probe.ID, o.EDE)
+			}
+		}
+		c := compliance.ClassifyResolver(r.Transcript)
+		if c.IsValidator {
+			validators++
+		}
+		if c.SupportsEDE() {
+			t.Fatal("classification saw EDE through Atlas")
+		}
+	}
+	if validators == 0 {
+		t.Fatal("no validators among closed resolvers")
+	}
+}
+
+func TestMeasurementUniqueLabelsPerProbe(t *testing.T) {
+	h, instances := buildWorldWithResolvers(t, 3)
+	p := &Platform{Exchanger: h.Net}
+	for i, inst := range instances {
+		p.AddProbe(Probe{ID: i + 1, Resolver: inst.Addr})
+	}
+	results := p.MeasureTestbed(context.Background(), "u")
+	seen := map[string]bool{}
+	for _, r := range results {
+		if seen[r.Transcript.Unique] {
+			t.Fatalf("duplicate unique label %s", r.Transcript.Unique)
+		}
+		seen[r.Transcript.Unique] = true
+	}
+}
+
+func TestPlatformUnreachableResolver(t *testing.T) {
+	h, _ := buildWorldWithResolvers(t, 1)
+	p := &Platform{Exchanger: h.Net}
+	p.AddProbe(Probe{ID: 99, Resolver: netsim.Addr4(10, 99, 99, 99)})
+	results := p.MeasureTestbed(context.Background(), "x")
+	// ProbeResolver records per-observation errors rather than failing
+	// outright; the transcript exists with errored observations.
+	tr := results[0].Transcript
+	if tr == nil {
+		t.Fatal("no transcript")
+	}
+	for _, o := range tr.Observations {
+		if o.Err == nil {
+			t.Fatal("unreachable resolver produced an answer")
+		}
+	}
+	c := compliance.ClassifyResolver(tr)
+	if c.IsValidator {
+		t.Fatal("unreachable resolver classified as validator")
+	}
+	_ = resolver.NoLimit // keep the import for clarity of what's deployed
+}

@@ -1,0 +1,229 @@
+// Package authserver implements an authoritative DNS server over the
+// netsim Handler contract: it owns a set of signed zones, routes each
+// query to the deepest matching zone, evaluates it (positive answers,
+// referrals, NSEC/NSEC3-proven negatives, wildcard expansion), and
+// shapes the wire response (AA bit, EDNS echo, DO-conditional DNSSEC
+// records).
+//
+// It plays the role the paper's own name servers played for
+// rfc9276-in-the-wild.com, including the server-side query log used to
+// identify forwarders (§4.2: "We enable server-side logging to track
+// source IP addresses interacting with our name server").
+package authserver
+
+import (
+	"context"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+// Server is an authoritative name server for one or more signed zones.
+type Server struct {
+	mu       sync.RWMutex
+	zones    map[dnswire.Name]*zone.Signed
+	transfer map[dnswire.Name]zone.TransferPolicy
+
+	// Log, when non-nil, records every query source (forwarder
+	// detection in the resolver experiment).
+	Log *QueryLog
+}
+
+// New creates an empty server.
+func New() *Server {
+	return &Server{
+		zones:    make(map[dnswire.Name]*zone.Signed),
+		transfer: make(map[dnswire.Name]zone.TransferPolicy),
+	}
+}
+
+// SetTransferPolicy opens or closes AXFR for a hosted zone (default:
+// refused, like most of the DNS; the paper's ccTLD sources allowed it).
+func (s *Server) SetTransferPolicy(apex dnswire.Name, p zone.TransferPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.transfer[apex] = p
+}
+
+// AddZone installs a signed zone, replacing any zone with the same apex.
+func (s *Server) AddZone(sz *zone.Signed) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[sz.Zone.Apex] = sz
+}
+
+// ZoneFor returns the deepest zone whose apex is an ancestor of (or
+// equal to) qname.
+func (s *Server) ZoneFor(qname dnswire.Name) (*zone.Signed, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best *zone.Signed
+	bestDepth := -1
+	for apex, sz := range s.zones {
+		if qname.IsSubdomainOf(apex) {
+			if d := apex.CountLabels(); d > bestDepth {
+				best, bestDepth = sz, d
+			}
+		}
+	}
+	return best, best != nil
+}
+
+// zoneForQuery routes a query to the right zone. DS records live in the
+// parent zone, so a DS query for a hosted apex must be answered by the
+// parent zone when this server hosts both (RFC 4035 §3.1.4.1).
+func (s *Server) zoneForQuery(qname dnswire.Name, qtype dnswire.Type) (*zone.Signed, bool) {
+	sz, ok := s.ZoneFor(qname)
+	if !ok {
+		return nil, false
+	}
+	if qtype == dnswire.TypeDS && qname == sz.Zone.Apex && !qname.IsRoot() {
+		if parent, ok := s.ZoneFor(qname.Parent()); ok {
+			return parent, true
+		}
+	}
+	return sz, true
+}
+
+// Zones returns the hosted zone apexes, sorted canonically.
+func (s *Server) Zones() []dnswire.Name {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]dnswire.Name, 0, len(s.zones))
+	for apex := range s.zones {
+		out = append(out, apex)
+	}
+	sort.Slice(out, func(i, j int) bool { return dnswire.CanonicalCompare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Handle implements netsim.Handler.
+func (s *Server) Handle(ctx context.Context, from netip.AddrPort, query *dnswire.Message) *dnswire.Message {
+	resp := &dnswire.Message{
+		Header: dnswire.Header{
+			ID:               query.Header.ID,
+			Response:         true,
+			Opcode:           query.Header.Opcode,
+			RecursionDesired: query.Header.RecursionDesired,
+		},
+		Questions: query.Questions,
+	}
+	do := false
+	if opt, ok := query.OPT(); ok {
+		do = opt.DO
+		resp.Additional = append(resp.Additional, (&dnswire.OPT{
+			UDPSize: dnswire.DefaultUDPSize,
+			DO:      do,
+		}).AsRR())
+	}
+	if query.Header.Opcode != dnswire.OpcodeQuery || len(query.Questions) != 1 {
+		resp.Header.RCode = dnswire.RCodeNotImp
+		return resp
+	}
+	q := query.Questions[0]
+	if q.Class != dnswire.ClassIN {
+		resp.Header.RCode = dnswire.RCodeRefused
+		return resp
+	}
+	if s.Log != nil {
+		s.Log.Record(from, q.Name)
+	}
+	sz, ok := s.zoneForQuery(q.Name, q.Type)
+	if !ok {
+		resp.Header.RCode = dnswire.RCodeRefused
+		return resp
+	}
+	if q.Type == dnswire.TypeAXFR {
+		return s.handleAXFR(resp, sz, q.Name)
+	}
+	ans, err := sz.Evaluate(q.Name, q.Type, do)
+	if err != nil {
+		resp.Header.RCode = dnswire.RCodeServFail
+		return resp
+	}
+	resp.Header.RCode = ans.RCode
+	resp.Header.Authoritative = ans.Kind != zone.KindDelegation && ans.Kind != zone.KindNotInZone
+	resp.Answers = ans.Answer
+	resp.Authority = ans.Authority
+	resp.Additional = append(ans.Additional, resp.Additional...)
+	return resp
+}
+
+// handleAXFR answers a zone transfer request (RFC 5936): the complete
+// signed zone between two copies of the apex SOA, or REFUSED when the
+// zone's transfer policy (the default) forbids it.
+func (s *Server) handleAXFR(resp *dnswire.Message, sz *zone.Signed, qname dnswire.Name) *dnswire.Message {
+	if qname != sz.Zone.Apex {
+		resp.Header.RCode = dnswire.RCodeNotImp
+		return resp
+	}
+	s.mu.RLock()
+	pol := s.transfer[sz.Zone.Apex]
+	s.mu.RUnlock()
+	if pol != zone.TransferOpen {
+		resp.Header.RCode = dnswire.RCodeRefused
+		return resp
+	}
+	resp.Header.Authoritative = true
+	resp.Answers = sz.AllRecords()
+	return resp
+}
+
+// QueryLog is a bounded, concurrency-safe log of query sources — the
+// simulated equivalent of the paper's server-side logging.
+type QueryLog struct {
+	mu      sync.Mutex
+	max     int
+	entries []LogEntry
+}
+
+// LogEntry is one observed query.
+type LogEntry struct {
+	From  netip.AddrPort
+	QName dnswire.Name
+}
+
+// NewQueryLog creates a log keeping at most max entries (oldest dropped).
+func NewQueryLog(max int) *QueryLog {
+	return &QueryLog{max: max}
+}
+
+// Record appends an entry.
+func (l *QueryLog) Record(from netip.AddrPort, qname dnswire.Name) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) >= l.max && l.max > 0 {
+		copy(l.entries, l.entries[1:])
+		l.entries = l.entries[:len(l.entries)-1]
+	}
+	l.entries = append(l.entries, LogEntry{From: from, QName: qname})
+}
+
+// Entries returns a snapshot of the log.
+func (l *QueryLog) Entries() []LogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LogEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// SourcesFor returns the distinct source addresses that queried names
+// containing the given label — how the paper maps a per-resolver unique
+// subdomain back to the addresses that actually hit the name server.
+func (l *QueryLog) SourcesFor(match func(dnswire.Name) bool) []netip.AddrPort {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seen := make(map[netip.AddrPort]bool)
+	var out []netip.AddrPort
+	for _, e := range l.entries {
+		if match(e.QName) && !seen[e.From] {
+			seen[e.From] = true
+			out = append(out, e.From)
+		}
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+package compliance
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dnswire"
+	"repro/internal/testbed"
+)
+
+func facts(params []dnswire.NSEC3PARAM, nsec3s []dnswire.NSEC3, keys int) ZoneFacts {
+	f := ZoneFacts{Domain: "example.com.", NSEC3PARAMs: params, NSEC3s: nsec3s}
+	for i := 0; i < keys; i++ {
+		f.DNSKEYs = append(f.DNSKEYs, dnswire.DNSKEY{Flags: dnswire.DNSKEYFlagZone, Protocol: 3})
+	}
+	return f
+}
+
+func n3(iters uint16, salt []byte, optOut bool) dnswire.NSEC3 {
+	var flags uint8
+	if optOut {
+		flags = dnswire.NSEC3FlagOptOut
+	}
+	return dnswire.NSEC3{HashAlg: 1, Flags: flags, Iterations: iters, Salt: salt,
+		NextHashedOwner: make([]byte, 20)}
+}
+
+func p3(iters uint16, salt []byte) dnswire.NSEC3PARAM {
+	return dnswire.NSEC3PARAM{HashAlg: 1, Iterations: iters, Salt: salt}
+}
+
+func TestCheckRFC5155(t *testing.T) {
+	salt := []byte{0xAB}
+	cases := []struct {
+		name string
+		f    ZoneFacts
+		want error
+	}{
+		{"ok", facts([]dnswire.NSEC3PARAM{p3(5, salt)}, []dnswire.NSEC3{n3(5, salt, false), n3(5, salt, false)}, 1), nil},
+		{"no param", facts(nil, []dnswire.NSEC3{n3(5, salt, false)}, 1), ErrNoNSEC3Param},
+		{"two params", facts([]dnswire.NSEC3PARAM{p3(5, salt), p3(6, salt)}, []dnswire.NSEC3{n3(5, salt, false)}, 1), ErrMultipleParams},
+		{"no records", facts([]dnswire.NSEC3PARAM{p3(5, salt)}, nil, 1), ErrNoNSEC3Records},
+		{"records disagree", facts([]dnswire.NSEC3PARAM{p3(5, salt)}, []dnswire.NSEC3{n3(5, salt, false), n3(6, salt, false)}, 1), ErrNSEC3Mismatch},
+		{"param mismatch", facts([]dnswire.NSEC3PARAM{p3(4, salt)}, []dnswire.NSEC3{n3(5, salt, false)}, 1), ErrParamMismatch},
+		{"salt mismatch", facts([]dnswire.NSEC3PARAM{p3(5, nil)}, []dnswire.NSEC3{n3(5, salt, false)}, 1), ErrParamMismatch},
+	}
+	for _, c := range cases {
+		if err := c.f.CheckRFC5155(); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestClassifyZone(t *testing.T) {
+	salt := []byte{1, 2, 3}
+	// Fully compliant (0 iterations, no salt).
+	c := Classify(facts([]dnswire.NSEC3PARAM{p3(0, nil)}, []dnswire.NSEC3{n3(0, nil, false)}, 2))
+	if !c.DNSSECEnabled || !c.NSEC3Enabled || !c.Item2OK || !c.Item3OK || !c.BothOK {
+		t.Fatalf("compliant: %+v", c)
+	}
+	// Non-compliant iterations and salt, with opt-out.
+	c = Classify(facts([]dnswire.NSEC3PARAM{p3(100, salt)}, []dnswire.NSEC3{n3(100, salt, true)}, 1))
+	if c.Item2OK || c.Item3OK || c.BothOK || !c.OptOut {
+		t.Fatalf("non-compliant: %+v", c)
+	}
+	if c.Iterations != 100 || c.SaltLen != 3 {
+		t.Fatalf("params: %+v", c)
+	}
+	// No DNSKEYs: not DNSSEC-enabled regardless of records.
+	c = Classify(facts([]dnswire.NSEC3PARAM{p3(0, nil)}, []dnswire.NSEC3{n3(0, nil, false)}, 0))
+	if c.DNSSECEnabled || c.NSEC3Enabled {
+		t.Fatalf("unsigned: %+v", c)
+	}
+	// DNSSEC with NSEC only.
+	f := facts(nil, nil, 1)
+	f.NSECSeen = true
+	c = Classify(f)
+	if !c.DNSSECEnabled || c.NSEC3Enabled || !c.NSECUsed {
+		t.Fatalf("nsec: %+v", c)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a := NewAggregate()
+	salt := []byte{1}
+	a.Add(Classify(facts(nil, nil, 0)))                                                                // unsigned
+	a.Add(Classify(facts([]dnswire.NSEC3PARAM{p3(0, nil)}, []dnswire.NSEC3{n3(0, nil, false)}, 1)))    // compliant
+	a.Add(Classify(facts([]dnswire.NSEC3PARAM{p3(10, salt)}, []dnswire.NSEC3{n3(10, salt, true)}, 1))) // non-compliant
+	f := facts(nil, nil, 1)
+	f.NSECSeen = true
+	a.Add(Classify(f)) // NSEC-signed
+	if a.Total != 4 || a.DNSSECEnabled != 3 || a.NSEC3Enabled != 2 || a.NSECUsed != 1 {
+		t.Fatalf("agg: %+v", a)
+	}
+	if a.Item2OK != 1 || a.Item3OK != 1 || a.BothOK != 1 || a.OptOut != 1 {
+		t.Fatalf("agg items: %+v", a)
+	}
+	if a.MaxIterations != 10 || a.MaxSaltLen != 1 {
+		t.Fatalf("agg max: %+v", a)
+	}
+	if Pct(a.NSEC3Enabled, a.DNSSECEnabled) < 66 {
+		t.Fatal("pct wrong")
+	}
+	if Pct(1, 0) != 0 {
+		t.Fatal("Pct(_, 0) must be 0")
+	}
+}
+
+func TestGuidelinesTable(t *testing.T) {
+	g := Guidelines()
+	if len(g) != 12 {
+		t.Fatalf("%d guidelines, want 12", len(g))
+	}
+	for i, item := range g {
+		if item.Item != i+1 {
+			t.Fatalf("item %d at index %d", item.Item, i)
+		}
+	}
+	// Audience split: 1–5 authoritative, 6–12 resolver (Table 1).
+	for _, item := range g {
+		wantAud := AudienceAuthoritative
+		if item.Item >= 6 {
+			wantAud = AudienceResolver
+		}
+		if item.Audience != wantAud {
+			t.Errorf("item %d audience %v", item.Item, item.Audience)
+		}
+	}
+	if g[1].Keyword != Must { // Item 2
+		t.Error("Item 2 must be MUST")
+	}
+	if g[6].Keyword != Must { // Item 7
+		t.Error("Item 7 must be MUST")
+	}
+	if g[10].Keyword != MustNot { // Item 11
+		t.Error("Item 11 must be MUST NOT")
+	}
+}
+
+// mkTranscript fabricates a transcript from per-subdomain outcomes.
+type outcome struct {
+	rcode dnswire.RCode
+	ad    bool
+	ede   []dnswire.EDECode
+}
+
+func mkTranscript(t *testing.T, f func(sub testbed.Subdomain) outcome) *testbed.Transcript {
+	t.Helper()
+	tr := &testbed.Transcript{Unique: "synthetic"}
+	for _, sub := range testbed.Subdomains() {
+		o := f(sub)
+		obs := testbed.Observation{
+			Label: sub.Label, Iterations: sub.Iterations, NXProbe: sub.WantNXDOMAIN,
+			RCode: o.rcode, AD: o.ad, RA: true,
+		}
+		for _, c := range o.ede {
+			obs.EDE = append(obs.EDE, dnswire.EDE{Code: c})
+		}
+		tr.Observations = append(tr.Observations, obs)
+	}
+	return tr
+}
+
+// bindLike simulates an insecure-above-150 validator with EDE 27.
+func bindLike(sub testbed.Subdomain) outcome {
+	switch sub.Label {
+	case "valid":
+		return outcome{rcode: dnswire.RCodeNoError, ad: true}
+	case "expired", "it-2501-expired":
+		return outcome{rcode: dnswire.RCodeServFail}
+	}
+	if sub.Iterations <= 150 {
+		return outcome{rcode: dnswire.RCodeNXDomain, ad: true}
+	}
+	return outcome{rcode: dnswire.RCodeNXDomain, ede: []dnswire.EDECode{dnswire.EDEUnsupportedNSEC3Iter}}
+}
+
+func TestClassifyResolverBindLike(t *testing.T) {
+	c := ClassifyResolver(mkTranscript(t, bindLike))
+	if !c.IsValidator {
+		t.Fatal("not a validator")
+	}
+	if !c.ImplementsItem6 || c.InsecureLimit != 150 {
+		t.Fatalf("item6: %+v", c)
+	}
+	if c.ImplementsItem8 {
+		t.Fatal("item8 wrongly detected")
+	}
+	if c.Item7Violation {
+		t.Fatal("item7 violation wrongly detected")
+	}
+	if !c.EDE27 || !c.SupportsEDE() {
+		t.Fatal("EDE 27 missed")
+	}
+	if c.ThreePhase {
+		t.Fatal("three-phase wrongly detected")
+	}
+}
+
+func TestClassifyResolverCloudflareLike(t *testing.T) {
+	c := ClassifyResolver(mkTranscript(t, func(sub testbed.Subdomain) outcome {
+		switch sub.Label {
+		case "valid":
+			return outcome{rcode: dnswire.RCodeNoError, ad: true}
+		case "expired", "it-2501-expired":
+			return outcome{rcode: dnswire.RCodeServFail}
+		}
+		if sub.Iterations <= 150 {
+			return outcome{rcode: dnswire.RCodeNXDomain, ad: true}
+		}
+		return outcome{rcode: dnswire.RCodeServFail, ede: []dnswire.EDECode{dnswire.EDEUnsupportedNSEC3Iter}}
+	}))
+	if !c.IsValidator || !c.ImplementsItem8 || c.ServfailFrom != 175 {
+		// The probed values jump 150 → 151; SERVFAIL starts at 151.
+		if c.ServfailFrom != 151 {
+			t.Fatalf("cloudflare: %+v", c)
+		}
+	}
+	if c.ThreePhase {
+		t.Fatal("three-phase wrongly detected (no insecure band)")
+	}
+}
+
+func TestClassifyResolverItem7Violator(t *testing.T) {
+	c := ClassifyResolver(mkTranscript(t, func(sub testbed.Subdomain) outcome {
+		switch sub.Label {
+		case "valid":
+			return outcome{rcode: dnswire.RCodeNoError, ad: true}
+		case "expired":
+			return outcome{rcode: dnswire.RCodeServFail}
+		case "it-2501-expired":
+			// Accepts the expired over-limit proof: the violation.
+			return outcome{rcode: dnswire.RCodeNXDomain}
+		}
+		if sub.Iterations <= 150 {
+			return outcome{rcode: dnswire.RCodeNXDomain, ad: true}
+		}
+		return outcome{rcode: dnswire.RCodeNXDomain}
+	}))
+	if !c.Item7Violation {
+		t.Fatalf("violation missed: %+v", c)
+	}
+}
+
+func TestClassifyResolverThreePhase(t *testing.T) {
+	c := ClassifyResolver(mkTranscript(t, func(sub testbed.Subdomain) outcome {
+		switch sub.Label {
+		case "valid":
+			return outcome{rcode: dnswire.RCodeNoError, ad: true}
+		case "expired", "it-2501-expired":
+			return outcome{rcode: dnswire.RCodeServFail}
+		}
+		switch {
+		case sub.Iterations <= 100:
+			return outcome{rcode: dnswire.RCodeNXDomain, ad: true}
+		case sub.Iterations <= 150:
+			return outcome{rcode: dnswire.RCodeNXDomain}
+		default:
+			return outcome{rcode: dnswire.RCodeServFail}
+		}
+	}))
+	if !c.ThreePhase || c.InsecureLimit != 100 || c.ServfailFrom != 151 {
+		t.Fatalf("three-phase: %+v", c)
+	}
+}
+
+func TestClassifyResolverNonValidator(t *testing.T) {
+	c := ClassifyResolver(mkTranscript(t, func(sub testbed.Subdomain) outcome {
+		if sub.WantNXDOMAIN {
+			return outcome{rcode: dnswire.RCodeNXDomain}
+		}
+		return outcome{rcode: dnswire.RCodeNoError}
+	}))
+	if c.IsValidator {
+		t.Fatal("non-validator classified as validator")
+	}
+	agg := NewResolverAggregate()
+	agg.Add(c)
+	if agg.Probed != 1 || agg.Validators != 0 {
+		t.Fatalf("agg: %+v", agg)
+	}
+}
+
+func TestClassifyResolverStrictZero(t *testing.T) {
+	c := ClassifyResolver(mkTranscript(t, func(sub testbed.Subdomain) outcome {
+		switch sub.Label {
+		case "valid":
+			return outcome{rcode: dnswire.RCodeNoError, ad: true}
+		case "expired":
+			return outcome{rcode: dnswire.RCodeServFail}
+		}
+		return outcome{rcode: dnswire.RCodeServFail}
+	}))
+	if !c.IsValidator || !c.ImplementsItem8 || c.ServfailFrom != 1 {
+		t.Fatalf("strict-zero: %+v", c)
+	}
+}
+
+func TestResolverAggregate(t *testing.T) {
+	agg := NewResolverAggregate()
+	agg.Add(ClassifyResolver(mkTranscript(t, bindLike)))
+	agg.Add(ClassifyResolver(mkTranscript(t, bindLike)))
+	if agg.Validators != 2 || agg.Item6 != 2 || agg.InsecureLimits[150] != 2 {
+		t.Fatalf("agg: %+v", agg)
+	}
+	if agg.EDE27 != 2 || agg.EDEAny != 2 {
+		t.Fatalf("EDE agg: %+v", agg)
+	}
+}

@@ -1,0 +1,67 @@
+// Package compliance encodes RFC 9276 ("Guidance for NSEC3 Parameter
+// Settings in DNSSEC"): the twelve guideline items of the paper's
+// Table 1, the zone-side compliance checks (Items 1–5) applied to
+// scanned domains, and the resolver-side behavioural classifier
+// (Items 6–12) applied to testbed probe transcripts.
+package compliance
+
+// Requirement is the RFC 2119 keyword attached to a guideline.
+type Requirement string
+
+// RFC 2119 keywords used in RFC 9276.
+const (
+	Should         Requirement = "SHOULD"
+	ShouldNot      Requirement = "SHOULD NOT"
+	Must           Requirement = "MUST"
+	MustNot        Requirement = "MUST NOT"
+	May            Requirement = "MAY"
+	NotRecommended Requirement = "NOT RECOMMENDED"
+)
+
+// Audience is who a guideline addresses.
+type Audience int
+
+// Audiences.
+const (
+	AudienceAuthoritative Audience = iota // Items 1–5
+	AudienceResolver                      // Items 6–12
+)
+
+// Guideline is one row of the paper's Table 1.
+type Guideline struct {
+	Item     int
+	Keyword  Requirement
+	Audience Audience
+	Guidance string
+}
+
+// Guidelines returns the twelve RFC 9276 items exactly as the paper's
+// Table 1 summarizes them.
+func Guidelines() []Guideline {
+	return []Guideline{
+		{1, Should, AudienceAuthoritative,
+			"prefer NSEC over NSEC3, if the NSEC3 operational or security features are not needed"},
+		{2, Must, AudienceAuthoritative,
+			"set the number of additional iterations to 0"},
+		{3, ShouldNot, AudienceAuthoritative,
+			"use a salt"},
+		{4, NotRecommended, AudienceAuthoritative,
+			"set the opt-out flag for small zones"},
+		{5, May, AudienceAuthoritative,
+			"set the opt-out flag for very large and sparsely signed zones with the majority of records insecure delegations"},
+		{6, May, AudienceResolver,
+			"return an insecure response if a queried name server returns NSEC3 RRs not complying with Item 2"},
+		{7, Must, AudienceResolver,
+			"verify the RRSIG RRs for NSEC3 RRs in the answer of the authoritative server to ensure integrity of the number of additional iterations, if Item 6 is implemented"},
+		{8, May, AudienceResolver,
+			"set RCODE to SERVFAIL in the response to the client, if a queried name server returns NSEC3 RRs not complying with Item 2"},
+		{9, May, AudienceResolver,
+			"ignore the response of the queried name server, if it returns NSEC3 RRs not complying with Item 2, likely resulting in setting RCODE to SERVFAIL in the response to the client"},
+		{10, Should, AudienceResolver,
+			"return EDE information with INFO-CODE set to 27, if Item 6 or Item 8 are implemented"},
+		{11, MustNot, AudienceResolver,
+			"return EDE information as in Item 10, if Item 9 is implemented"},
+		{12, Should, AudienceResolver,
+			"set the number of iterations starting from which Item 6 and Item 8 are implemented to the same value if both are implemented"},
+	}
+}

@@ -1,0 +1,177 @@
+package compliance
+
+import (
+	"bytes"
+	"errors"
+
+	"repro/internal/dnswire"
+)
+
+// ZoneFacts is what the scanner observed for one registered domain:
+// the raw material of the §4.1 methodology.
+type ZoneFacts struct {
+	Domain dnswire.Name
+	// DNSKEYs returned for the domain; non-empty means DNSSEC-enabled
+	// under the paper's definition.
+	DNSKEYs []dnswire.DNSKEY
+	// NSEC3PARAMs at the apex (RFC 5155 requires exactly one for a
+	// usable chain; the paper drops domains with more).
+	NSEC3PARAMs []dnswire.NSEC3PARAM
+	// NSEC3s seen in the negative response to a random-subdomain probe.
+	NSEC3s []dnswire.NSEC3
+	// NSECSeen reports plain NSEC records in the negative response.
+	NSECSeen bool
+	// NSHosts are the authoritative name server names.
+	NSHosts []dnswire.Name
+}
+
+// Consistency errors (RFC 5155 checks from §4.1).
+var (
+	ErrNoNSEC3Param   = errors.New("compliance: no NSEC3PARAM record")
+	ErrMultipleParams = errors.New("compliance: more than one NSEC3PARAM record")
+	ErrNSEC3Mismatch  = errors.New("compliance: NSEC3 records disagree among themselves")
+	ErrParamMismatch  = errors.New("compliance: NSEC3 and NSEC3PARAM parameters disagree")
+	ErrNoNSEC3Records = errors.New("compliance: no NSEC3 records observed")
+)
+
+// CheckRFC5155 verifies the two §4.1 consistency conditions: i) all
+// NSEC3 records carry identical parameters, and ii) they match the
+// single NSEC3PARAM. Only domains passing this are "NSEC3-enabled".
+func (f ZoneFacts) CheckRFC5155() error {
+	switch len(f.NSEC3PARAMs) {
+	case 0:
+		return ErrNoNSEC3Param
+	case 1:
+	default:
+		return ErrMultipleParams
+	}
+	if len(f.NSEC3s) == 0 {
+		return ErrNoNSEC3Records
+	}
+	first := f.NSEC3s[0]
+	for _, n := range f.NSEC3s[1:] {
+		if n.HashAlg != first.HashAlg || n.Iterations != first.Iterations ||
+			!bytes.Equal(n.Salt, first.Salt) {
+			return ErrNSEC3Mismatch
+		}
+	}
+	p := f.NSEC3PARAMs[0]
+	if p.HashAlg != first.HashAlg || p.Iterations != first.Iterations ||
+		!bytes.Equal(p.Salt, first.Salt) {
+		return ErrParamMismatch
+	}
+	return nil
+}
+
+// ZoneClass is the per-domain classification feeding §5.1.
+type ZoneClass struct {
+	Domain        dnswire.Name
+	DNSSECEnabled bool
+	NSEC3Enabled  bool // DNSSEC-enabled + RFC 5155-consistent NSEC3
+	NSECUsed      bool // plain NSEC observed instead
+	// NSEC3 parameters (valid when NSEC3Enabled).
+	Iterations uint16
+	SaltLen    int
+	OptOut     bool
+	// RFC 9276 compliance verdicts.
+	Item2OK bool // zero additional iterations
+	Item3OK bool // no salt
+	BothOK  bool
+}
+
+// Classify derives the zone classification from scan facts.
+func Classify(f ZoneFacts) ZoneClass {
+	c := ZoneClass{
+		Domain:        f.Domain,
+		DNSSECEnabled: len(f.DNSKEYs) > 0,
+		NSECUsed:      f.NSECSeen,
+	}
+	if !c.DNSSECEnabled {
+		return c
+	}
+	if err := f.CheckRFC5155(); err != nil {
+		return c
+	}
+	c.NSEC3Enabled = true
+	p := f.NSEC3PARAMs[0]
+	c.Iterations = p.Iterations
+	c.SaltLen = len(p.Salt)
+	for _, n := range f.NSEC3s {
+		if n.OptOut() {
+			c.OptOut = true
+		}
+	}
+	c.Item2OK = c.Iterations == 0
+	c.Item3OK = c.SaltLen == 0
+	c.BothOK = c.Item2OK && c.Item3OK
+	return c
+}
+
+// Aggregate summarizes many zone classifications into the §5.1 numbers.
+type Aggregate struct {
+	Total         int
+	DNSSECEnabled int
+	NSEC3Enabled  int
+	NSECUsed      int
+	Item2OK       int
+	Item3OK       int
+	BothOK        int
+	OptOut        int
+	// IterationsHist and SaltLenHist feed the Figure 1 CDFs.
+	IterationsHist map[uint16]int
+	SaltLenHist    map[int]int
+	MaxIterations  uint16
+	MaxSaltLen     int
+}
+
+// NewAggregate prepares an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{
+		IterationsHist: make(map[uint16]int),
+		SaltLenHist:    make(map[int]int),
+	}
+}
+
+// Add folds one classification into the aggregate.
+func (a *Aggregate) Add(c ZoneClass) {
+	a.Total++
+	if !c.DNSSECEnabled {
+		return
+	}
+	a.DNSSECEnabled++
+	if c.NSECUsed && !c.NSEC3Enabled {
+		a.NSECUsed++
+	}
+	if !c.NSEC3Enabled {
+		return
+	}
+	a.NSEC3Enabled++
+	a.IterationsHist[c.Iterations]++
+	a.SaltLenHist[c.SaltLen]++
+	if c.Iterations > a.MaxIterations {
+		a.MaxIterations = c.Iterations
+	}
+	if c.SaltLen > a.MaxSaltLen {
+		a.MaxSaltLen = c.SaltLen
+	}
+	if c.Item2OK {
+		a.Item2OK++
+	}
+	if c.Item3OK {
+		a.Item3OK++
+	}
+	if c.BothOK {
+		a.BothOK++
+	}
+	if c.OptOut {
+		a.OptOut++
+	}
+}
+
+// Pct returns 100*num/den, 0 when den is 0.
+func Pct(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}

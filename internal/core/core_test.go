@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/compliance"
+	"repro/internal/population"
+	"repro/internal/respop"
+)
+
+// TestSurveyEndToEnd runs the full §4.1 pipeline at a small scale and
+// checks the §5.1 shapes against the paper with generous tolerances
+// (the universe is sampled, so small-n noise is expected).
+func TestSurveyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end survey is slow")
+	}
+	report, err := RunSurvey(context.Background(), SurveyConfig{
+		Registered: 4000,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ScanErrors > 0 {
+		t.Fatalf("%d scan errors", report.ScanErrors)
+	}
+	agg := report.Agg
+	if agg.Total != 4000 {
+		t.Fatalf("scanned %d domains", agg.Total)
+	}
+	// DNSSEC-enabled ≈ 8.8 %.
+	dnssecPct := compliance.Pct(agg.DNSSECEnabled, agg.Total)
+	if dnssecPct < 6 || dnssecPct > 12 {
+		t.Errorf("DNSSEC-enabled %.1f %%, paper 8.8 %%", dnssecPct)
+	}
+	// NSEC3-enabled ≈ 58.9 % of DNSSEC-enabled.
+	nsec3Pct := compliance.Pct(agg.NSEC3Enabled, agg.DNSSECEnabled)
+	if nsec3Pct < 45 || nsec3Pct > 72 {
+		t.Errorf("NSEC3 share %.1f %%, paper 58.9 %%", nsec3Pct)
+	}
+	// Item 2 (zero iterations) ≈ 12.2 % of NSEC3-enabled — i.e. 87.8 %
+	// non-compliant, the headline result.
+	zeroPct := compliance.Pct(agg.Item2OK, agg.NSEC3Enabled)
+	if zeroPct < 6 || zeroPct > 20 {
+		t.Errorf("zero-iteration share %.1f %%, paper 12.2 %%", zeroPct)
+	}
+	// Item 3 (no salt) ≈ 8.6 %.
+	noSaltPct := compliance.Pct(agg.Item3OK, agg.NSEC3Enabled)
+	if noSaltPct < 4 || noSaltPct > 16 {
+		t.Errorf("no-salt share %.1f %%, paper 8.6 %%", noSaltPct)
+	}
+	// Figure 1 shape: ≥99 % of NSEC3-enabled domains at ≤25 iterations,
+	// observed maximum 500 (injected specimens survive any scale).
+	if report.IterCDF.At(25) < 0.98 {
+		t.Errorf("CDF(25) = %.4f, paper 0.999", report.IterCDF.At(25))
+	}
+	if report.IterCDF.Max() != 500 {
+		t.Errorf("max iterations %d, paper 500", report.IterCDF.Max())
+	}
+	if report.SaltCDF.Max() != 160 {
+		t.Errorf("max salt %d, paper 160", report.SaltCDF.Max())
+	}
+	if report.SaltCDF.At(10) < 0.90 {
+		t.Errorf("salt CDF(10) = %.4f, paper 0.972", report.SaltCDF.At(10))
+	}
+	// Opt-out ≈ 6.4 %.
+	optPct := compliance.Pct(agg.OptOut, agg.NSEC3Enabled)
+	if optPct < 2 || optPct > 12 {
+		t.Errorf("opt-out share %.1f %%, paper 6.4 %%", optPct)
+	}
+	// Table 2: the largest operator is Squarespace at ≈39.4 %.
+	rows := report.Operators.Top(10)
+	if len(rows) < 10 {
+		t.Fatalf("only %d operator rows", len(rows))
+	}
+	if rows[0].Operator != "squarespace-dns.com" {
+		t.Errorf("top operator %s, paper Squarespace", rows[0].Operator)
+	}
+	if rows[0].Share < 30 || rows[0].Share > 50 {
+		t.Errorf("top operator share %.1f %%, paper 39.4 %%", rows[0].Share)
+	}
+	// TLD registry scanned end-to-end: exact §5.1 registry numbers.
+	if report.TLDs.Total != population.TotalTLDs {
+		t.Fatalf("scanned %d TLDs", report.TLDs.Total)
+	}
+	if report.TLDs.DNSSECEnabled != population.DNSSECTLDs {
+		t.Errorf("TLD DNSSEC %d, paper 1354", report.TLDs.DNSSECEnabled)
+	}
+	if report.TLDs.NSEC3Enabled != population.NSEC3TLDs {
+		t.Errorf("TLD NSEC3 %d, paper 1302", report.TLDs.NSEC3Enabled)
+	}
+	if report.TLDs.Item2OK != population.ZeroIterTLDs {
+		t.Errorf("TLD zero-iteration %d, paper 688", report.TLDs.Item2OK)
+	}
+	if got := report.TLDs.IterationsHist[100]; got != population.IdentityDigital {
+		t.Errorf("TLDs at 100 iterations %d, paper 447", got)
+	}
+	// Registered domains under Identity Digital TLDs exist (the
+	// ≥12.6 M lower-bound estimate).
+	if report.DomainsUnderIDTLDs == 0 {
+		t.Error("no domains under Identity Digital TLDs")
+	}
+}
+
+// TestResolverStudyEndToEnd runs the §4.2 pipeline with a scaled fleet
+// and checks the §5.2 shapes.
+func TestResolverStudyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end resolver study is slow")
+	}
+	report, err := RunResolverStudy(context.Background(), ResolverStudyConfig{
+		ScaleDen: 1000, // ≈105 open IPv4 + 50/50/50
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Overall.Probed == 0 || report.Overall.Validators == 0 {
+		t.Fatalf("probed=%d validators=%d", report.Overall.Probed, report.Overall.Validators)
+	}
+	// All deployed resolvers are validators or non-validating per the
+	// mix; every policy in the mix validates except NonValidating
+	// (absent from quadrant mixes), so expect ≈100 % validators here.
+	if report.Overall.Validators < report.Overall.Probed*9/10 {
+		t.Errorf("validators %d of %d", report.Overall.Validators, report.Overall.Probed)
+	}
+	v := report.Overall.Validators
+	item6 := compliance.Pct(report.Overall.Item6, v)
+	if item6 < 40 || item6 > 85 {
+		t.Errorf("Item 6 share %.1f %%, paper 59.9 %%", item6)
+	}
+	item8 := compliance.Pct(report.Overall.Item8, v)
+	if item8 < 8 || item8 > 35 {
+		t.Errorf("Item 8 share %.1f %%, paper 18.4 %%", item8)
+	}
+	// The dominant insecure limit is 150; 100 (Google) is common;
+	// 50 (patched) much rarer than 150.
+	if report.Overall.InsecureLimits[150] == 0 {
+		t.Error("no validators with the 150 limit")
+	}
+	if report.Overall.InsecureLimits[100] == 0 {
+		t.Error("no validators with the 100 limit (Google-like)")
+	}
+	if report.Overall.InsecureLimits[50] >= report.Overall.InsecureLimits[150] {
+		t.Errorf("50-limit (%d) should be much rarer than 150-limit (%d)",
+			report.Overall.InsecureLimits[50], report.Overall.InsecureLimits[150])
+	}
+	// SERVFAILs mostly start at 151.
+	if report.Overall.ServfailFroms[151] == 0 {
+		t.Error("no SERVFAIL-from-151 validators")
+	}
+	// Figure 3, open IPv4: at low N nearly all validators return
+	// NXDOMAIN with AD; above 150 the AD share collapses and SERVFAIL
+	// rises.
+	s := report.Series[respop.OpenIPv4]
+	if s == nil || len(s.Points) == 0 {
+		t.Fatal("no open IPv4 series")
+	}
+	p1, _ := s.At(1)
+	if p1.ADNXDOMAIN < 60 {
+		t.Errorf("it-1 AD+NXDOMAIN %.1f %%, expect high", p1.ADNXDOMAIN)
+	}
+	p150, _ := s.At(150)
+	p151, _ := s.At(151)
+	if !(p151.ADNXDOMAIN < p150.ADNXDOMAIN) {
+		t.Errorf("AD share did not drop at 151: %.1f -> %.1f", p150.ADNXDOMAIN, p151.ADNXDOMAIN)
+	}
+	if !(p151.SERVFAIL > p150.SERVFAIL) {
+		t.Errorf("SERVFAIL did not rise at 151: %.1f -> %.1f", p150.SERVFAIL, p151.SERVFAIL)
+	}
+	p500, _ := s.At(500)
+	if p500.ADNXDOMAIN > 10 {
+		t.Errorf("it-500 AD share %.1f %%, expect near zero", p500.ADNXDOMAIN)
+	}
+	// Google-like drop at 101 exists in open IPv4.
+	p100, _ := s.At(100)
+	p101, _ := s.At(101)
+	if !(p101.ADNXDOMAIN < p100.ADNXDOMAIN) {
+		t.Errorf("AD share did not drop at 101: %.1f -> %.1f", p100.ADNXDOMAIN, p101.ADNXDOMAIN)
+	}
+	// Closed quadrants exist and have validators.
+	for _, q := range []respop.Quadrant{respop.ClosedIPv4, respop.ClosedIPv6} {
+		if report.Series[q] == nil || report.Series[q].Validators == 0 {
+			t.Errorf("quadrant %s empty", q)
+		}
+	}
+	// Item 7 violations and three-phase boxes are rare but present.
+	if report.Overall.Item7Violations == 0 {
+		t.Error("no Item 7 violators in fleet")
+	}
+	if report.Overall.ThreePhase == 0 {
+		t.Error("no three-phase boxes in fleet")
+	}
+	// Closed-resolver transcripts carry no EDE (Atlas strips them), so
+	// EDE stats come from open resolvers only; some must exist.
+	if report.Overall.EDE27 == 0 {
+		t.Error("no EDE 27 observed among open validators")
+	}
+}

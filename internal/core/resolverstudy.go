@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/atlas"
+	"repro/internal/compliance"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/resolver"
+	"repro/internal/respop"
+	"repro/internal/testbed"
+	"repro/internal/zone"
+)
+
+// installScanResolver registers a Cloudflare-like recursive resolver
+// on a hierarchy's network (the measurement resolver of §4.1) and
+// returns its address.
+func installScanResolver(h *testbed.Hierarchy) (netip.AddrPort, error) {
+	addr := netsim.Addr4(1, 1, 1, 1)
+	res := resolver.New(resolver.Config{
+		Roots:           h.Roots,
+		TrustAnchor:     h.TrustAnchor,
+		Exchanger:       h.Net,
+		Policy:          respop.Cloudflare.Policy,
+		Now:             func() uint32 { return DefaultNow },
+		MaxCacheEntries: 1 << 16,
+	})
+	h.Net.Register(addr, res)
+	return addr, nil
+}
+
+// ResolverStudyConfig sizes the §4.2 resolver measurement.
+type ResolverStudyConfig struct {
+	// ScaleDen divides the paper's validator counts (105.2 K open
+	// IPv4, 6.8 K open IPv6, 1,236 closed IPv4, 689 closed IPv6).
+	// Default 200.
+	ScaleDen int
+	Seed     uint64
+	// Workers bounds concurrent open-resolver probes (default 32).
+	Workers int
+}
+
+// ResolverStudyReport is the §5.2 output.
+type ResolverStudyReport struct {
+	// Series holds one Figure 3 subfigure per quadrant.
+	Series map[respop.Quadrant]*analysis.RCodeSeries
+	// PerQuadrant aggregates the Items 6–12 statistics per quadrant.
+	PerQuadrant map[respop.Quadrant]*compliance.ResolverAggregate
+	// Overall aggregates across all quadrants.
+	Overall *compliance.ResolverAggregate
+	// Deployed counts resolvers per quadrant.
+	Deployed map[respop.Quadrant]int
+}
+
+// RunResolverStudy builds the testbed world, deploys the resolver
+// fleet, probes it, and classifies every transcript.
+func RunResolverStudy(ctx context.Context, cfg ResolverStudyConfig) (*ResolverStudyReport, error) {
+	if cfg.ScaleDen == 0 {
+		cfg.ScaleDen = 200
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 32
+	}
+	h, err := BuildTestbedWorld(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	now := func() uint32 { return DefaultNow }
+	instances, err := respop.Deploy(h, respop.DeployConfig{
+		Counts: respop.DefaultCounts(cfg.ScaleDen),
+		Seed:   cfg.Seed + 11,
+		Now:    now,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	report := &ResolverStudyReport{
+		Series:      make(map[respop.Quadrant]*analysis.RCodeSeries),
+		PerQuadrant: make(map[respop.Quadrant]*compliance.ResolverAggregate),
+		Overall:     compliance.NewResolverAggregate(),
+		Deployed:    make(map[respop.Quadrant]int),
+	}
+	quadTranscripts := make(map[respop.Quadrant][]*testbed.Transcript)
+	var mu sync.Mutex
+
+	// Open resolvers: probed directly over the network.
+	var open []*respop.Instance
+	platform := &atlas.Platform{Exchanger: h.Net, MaxConcurrent: cfg.Workers}
+	probeID := 0
+	instQuadrant := make(map[netip.AddrPort]respop.Quadrant)
+	for _, inst := range instances {
+		report.Deployed[inst.Quadrant]++
+		instQuadrant[inst.Addr] = inst.Quadrant
+		switch inst.Quadrant {
+		case respop.OpenIPv4, respop.OpenIPv6:
+			open = append(open, inst)
+		default:
+			// Closed resolvers are reachable only from their own
+			// network: measured through the Atlas platform.
+			probeID++
+			platform.AddProbe(atlas.Probe{
+				ID:       probeID,
+				Resolver: inst.Addr,
+				IPv6:     inst.Quadrant == respop.ClosedIPv6,
+			})
+		}
+	}
+
+	// Probe open resolvers with a worker pool.
+	sem := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	for i, inst := range open {
+		wg.Add(1)
+		go func(i int, inst *respop.Instance) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			unique := fmt.Sprintf("open-%d", i)
+			tr, err := testbed.ProbeResolver(ctx, h.Net, inst.Addr, unique)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			quadTranscripts[inst.Quadrant] = append(quadTranscripts[inst.Quadrant], tr)
+			mu.Unlock()
+		}(i, inst)
+	}
+	wg.Wait()
+
+	// Closed resolvers via the Atlas platform (EDE-less transcripts).
+	for _, mr := range platform.MeasureTestbed(ctx, "closed") {
+		if mr.Err != nil || mr.Transcript == nil {
+			continue
+		}
+		q := instQuadrant[mr.Probe.Resolver]
+		quadTranscripts[q] = append(quadTranscripts[q], mr.Transcript)
+	}
+
+	// Classify and aggregate.
+	for q, trs := range quadTranscripts {
+		agg := compliance.NewResolverAggregate()
+		var validators []*testbed.Transcript
+		for _, tr := range trs {
+			c := compliance.ClassifyResolver(tr)
+			agg.Add(c)
+			report.Overall.Add(c)
+			if c.IsValidator {
+				validators = append(validators, tr)
+			}
+		}
+		report.PerQuadrant[q] = agg
+		report.Series[q] = analysis.BuildRCodeSeries(q.String(), validators)
+	}
+	return report, nil
+}
+
+// BuildTestbedWorld assembles root + com + the rfc9276 testbed on a
+// fresh simulated network — the §4.2 infrastructure.
+func BuildTestbedWorld(seed uint64) (*testbed.Hierarchy, error) {
+	b := testbed.NewBuilder(DefaultInception, DefaultExpiration)
+	b.AddZone(testbed.ZoneSpec{
+		Apex:   dnswire.Root,
+		Sign:   zone.SignConfig{Denial: zone.DenialNSEC},
+		Server: netsim.Addr4(198, 41, 0, 4),
+	})
+	b.AddZone(testbed.ZoneSpec{
+		Apex:   dnswire.MustParseName("com"),
+		Sign:   zone.SignConfig{Denial: zone.DenialNSEC3, OptOut: true},
+		Server: netsim.Addr4(192, 5, 6, 30),
+	})
+	testbed.InstallTestbed(b, netsim.Addr4(203, 0, 113, 10), netsim.Addr6(0x10))
+	return b.Build(netsim.NewNetwork(seed))
+}

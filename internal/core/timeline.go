@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/population"
+)
+
+// The timeline experiment implements the paper's §6 future work:
+// tracking NSEC3 parameter compliance over the documented migrations
+// (Identity Digital 2020 and 2024, TransIP 2021, the RFC 9276
+// publication). Each sample generates the same fixed domain set with
+// era-appropriate operator profiles and reports the Item 2 compliance
+// share and the Identity Digital TLD setting.
+
+// TimelineSample is one dated observation.
+type TimelineSample struct {
+	Date          time.Time
+	Label         string
+	ZeroIterShare float64 // % of NSEC3-enabled domains at 0 iterations
+	IDTLDIters    uint16  // Identity Digital cohort's iteration count
+}
+
+// TimelineConfig sizes the longitudinal run.
+type TimelineConfig struct {
+	Registered int
+	Seed       uint64
+}
+
+// RunTimeline samples the universe at the story's milestones.
+func RunTimeline(ctx context.Context, cfg TimelineConfig) ([]TimelineSample, error) {
+	if cfg.Registered == 0 {
+		cfg.Registered = 30200
+	}
+	points := []struct {
+		date  time.Time
+		label string
+	}{
+		{population.DateIDRaise.AddDate(0, -3, 0), "pre-2020 (before the Identity Digital raise)"},
+		{population.DateIDRaise.AddDate(0, 3, 0), "late 2020 (ID TLDs at 100 iterations)"},
+		{population.DateTransIPZero.AddDate(0, 3, 0), "late 2021 (TransIP at 0; vendor defaults changed)"},
+		{population.DateRFC9276.AddDate(0, 3, 0), "late 2022 (RFC 9276 published)"},
+		{population.DatePaperScan, "March 2024 (the paper's measurement)"},
+		{population.DateIDZero.AddDate(0, 3, 0), "late 2024 (ID TLDs back to 0)"},
+	}
+	out := make([]TimelineSample, 0, len(points))
+	for _, p := range points {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		u, err := population.GenerateAt(population.Config{
+			Registered: cfg.Registered, Seed: cfg.Seed,
+		}, p.date)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TimelineSample{
+			Date:          p.date,
+			Label:         p.label,
+			ZeroIterShare: population.ZeroIterShareAt(u),
+			IDTLDIters:    population.TLDIterationsAt(p.date),
+		})
+	}
+	return out, nil
+}
+
+// RenderTimeline writes the longitudinal table.
+func RenderTimeline(w io.Writer, samples []TimelineSample) {
+	fmt.Fprintln(w, "==== Timeline (§6 future work): Item 2 compliance across the documented migrations")
+	fmt.Fprintf(w, "  %-12s %-52s %18s %12s\n", "date", "era", "0-iter domains", "ID TLD iters")
+	for _, s := range samples {
+		fmt.Fprintf(w, "  %-12s %-52s %17.1f%% %12d\n",
+			s.Date.Format("2006-01-02"), s.Label, s.ZeroIterShare, s.IDTLDIters)
+	}
+}

@@ -1,0 +1,101 @@
+package dnswire
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TypeBitmap is the set of RR types present at a name, as carried in the
+// NSEC and NSEC3 "Type Bit Maps" field (RFC 4034 §4.1.2, RFC 5155 §3.2.1).
+type TypeBitmap []Type
+
+// NewTypeBitmap builds a normalized (sorted, deduplicated) bitmap.
+func NewTypeBitmap(types ...Type) TypeBitmap {
+	tb := make(TypeBitmap, 0, len(types))
+	seen := make(map[Type]bool, len(types))
+	for _, t := range types {
+		if !seen[t] {
+			seen[t] = true
+			tb = append(tb, t)
+		}
+	}
+	sort.Slice(tb, func(i, j int) bool { return tb[i] < tb[j] })
+	return tb
+}
+
+// Contains reports whether t is present in the bitmap.
+func (tb TypeBitmap) Contains(t Type) bool {
+	i := sort.Search(len(tb), func(i int) bool { return tb[i] >= t })
+	return i < len(tb) && tb[i] == t
+}
+
+// String renders the bitmap in presentation form ("A NS SOA RRSIG …").
+func (tb TypeBitmap) String() string {
+	parts := make([]string, len(tb))
+	for i, t := range tb {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// appendBitmap appends the window-block wire encoding of the bitmap.
+// The bitmap must be normalized (sorted ascending); NewTypeBitmap
+// guarantees this.
+func appendBitmap(dst []byte, tb TypeBitmap) []byte {
+	if len(tb) == 0 {
+		return dst
+	}
+	// Gather types per 256-type window.
+	i := 0
+	for i < len(tb) {
+		window := byte(tb[i] >> 8)
+		var bits [32]byte
+		maxOctet := 0
+		for i < len(tb) && byte(tb[i]>>8) == window {
+			low := byte(tb[i])
+			octet := int(low / 8)
+			bits[octet] |= 0x80 >> (low % 8)
+			if octet > maxOctet {
+				maxOctet = octet
+			}
+			i++
+		}
+		dst = append(dst, window, byte(maxOctet+1))
+		dst = append(dst, bits[:maxOctet+1]...)
+	}
+	return dst
+}
+
+// readBitmap decodes a window-block bitmap occupying data entirely.
+func readBitmap(data []byte) (TypeBitmap, error) {
+	var tb TypeBitmap
+	lastWindow := -1
+	for len(data) > 0 {
+		if len(data) < 2 {
+			return nil, fmt.Errorf("dnswire: truncated type bitmap")
+		}
+		window := int(data[0])
+		length := int(data[1])
+		if length == 0 || length > 32 {
+			return nil, fmt.Errorf("dnswire: bad bitmap window length %d", length)
+		}
+		if window <= lastWindow {
+			return nil, fmt.Errorf("dnswire: bitmap windows out of order")
+		}
+		lastWindow = window
+		data = data[2:]
+		if len(data) < length {
+			return nil, fmt.Errorf("dnswire: truncated bitmap window")
+		}
+		for octet := 0; octet < length; octet++ {
+			for bit := 0; bit < 8; bit++ {
+				if data[octet]&(0x80>>bit) != 0 {
+					tb = append(tb, Type(window<<8|octet*8+bit))
+				}
+			}
+		}
+		data = data[length:]
+	}
+	return tb, nil
+}

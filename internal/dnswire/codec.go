@@ -1,0 +1,124 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// encoder accumulates a wire-format message. When table is non-nil,
+// eligible names are compressed with pointers into the already-written
+// prefix of buf (offsets must fit 14 bits).
+type encoder struct {
+	buf   []byte
+	table map[Name]int // name -> absolute offset of its first encoding
+}
+
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+
+// name encodes n, compressing when allowed and profitable. Compression
+// works per-suffix: each tail of the name may independently point at an
+// earlier occurrence.
+func (e *encoder) name(n Name, compressible bool) {
+	if e.table == nil || !compressible {
+		e.buf = appendName(e.buf, n)
+		return
+	}
+	labels := n.Labels()
+	for i := range labels {
+		suffix, err := fromLabels(labels[i:])
+		if err != nil {
+			panic(err) // labels came from a valid Name
+		}
+		if off, ok := e.table[suffix]; ok && off < 0x4000 {
+			e.u16(0xC000 | uint16(off))
+			return
+		}
+		if len(e.buf) < 0x4000 {
+			e.table[suffix] = len(e.buf)
+		}
+		e.buf = append(e.buf, byte(len(labels[i])))
+		e.buf = append(e.buf, labels[i]...)
+	}
+	e.buf = append(e.buf, 0)
+}
+
+// decoder walks a wire-format message.
+type decoder struct {
+	msg []byte
+	off int
+	end int // exclusive bound for RDATA-scoped decoding (len(msg) otherwise)
+}
+
+func (d *decoder) remaining() int { return d.end - d.off }
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.off+n > d.end {
+		return nil, fmt.Errorf("dnswire: need %d octets, have %d", n, d.remaining())
+	}
+	out := make([]byte, n)
+	copy(out, d.msg[d.off:d.off+n])
+	d.off += n
+	return out, nil
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if d.off >= d.end {
+		return 0, fmt.Errorf("dnswire: truncated u8")
+	}
+	v := d.msg[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.off+2 > d.end {
+		return 0, fmt.Errorf("dnswire: truncated u16")
+	}
+	v := binary.BigEndian.Uint16(d.msg[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.off+4 > d.end {
+		return 0, fmt.Errorf("dnswire: truncated u32")
+	}
+	v := binary.BigEndian.Uint32(d.msg[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+// name decodes a possibly-compressed name; pointers may refer anywhere
+// earlier in the full message, even outside the current RDATA bounds.
+func (d *decoder) name() (Name, error) {
+	n, next, err := readName(d.msg, d.off)
+	if err != nil {
+		return "", err
+	}
+	if next > d.end {
+		return "", fmt.Errorf("dnswire: name overruns field")
+	}
+	d.off = next
+	return n, nil
+}
+
+// charString decodes a length-prefixed <character-string>.
+func (d *decoder) charString() (string, error) {
+	l, err := d.u8()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.bytes(int(l))
+	return string(b), err
+}
+
+// lenPrefixed decodes a one-octet-length-prefixed byte field
+// (NSEC3 salt and hash fields).
+func (d *decoder) lenPrefixed() ([]byte, error) {
+	l, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	return d.bytes(int(l))
+}

@@ -1,0 +1,153 @@
+package dnswire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeStringsAndParse(t *testing.T) {
+	for _, tc := range []struct {
+		typ  Type
+		want string
+	}{
+		{TypeA, "A"}, {TypeNSEC3, "NSEC3"}, {TypeNSEC3PARAM, "NSEC3PARAM"},
+		{TypeRRSIG, "RRSIG"}, {Type(4242), "TYPE4242"},
+	} {
+		if got := tc.typ.String(); got != tc.want {
+			t.Errorf("%d.String() = %q", tc.typ, got)
+		}
+		back, err := ParseType(tc.want)
+		if err != nil || back != tc.typ {
+			t.Errorf("ParseType(%q) = %v, %v", tc.want, back, err)
+		}
+	}
+	if _, err := ParseType("NOPE"); err == nil {
+		t.Error("ParseType accepted garbage")
+	}
+}
+
+func TestRCodeOpcodeClassStrings(t *testing.T) {
+	if RCodeNXDomain.String() != "NXDOMAIN" || RCodeServFail.String() != "SERVFAIL" {
+		t.Error("rcode strings")
+	}
+	if RCode(200).String() != "RCODE200" {
+		t.Error("unknown rcode")
+	}
+	if OpcodeQuery.String() != "QUERY" || Opcode(9).String() != "OPCODE9" {
+		t.Error("opcode strings")
+	}
+	if ClassIN.String() != "IN" || Class(9).String() != "CLASS9" {
+		t.Error("class strings")
+	}
+	if AlgECDSAP256SHA256.String() != "ECDSAP256SHA256" || SecAlgorithm(99).String() != "ALG99" {
+		t.Error("algorithm strings")
+	}
+}
+
+func TestEDECodeStrings(t *testing.T) {
+	cases := map[EDECode]string{
+		EDEUnsupportedNSEC3Iter: "Unsupported NSEC3 Iterations Value",
+		EDEDNSSECIndeterminate:  "DNSSEC Indeterminate",
+		EDENSECMissing:          "NSEC Missing",
+		EDECode(99):             "EDE99",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	e := EDE{Code: EDEUnsupportedNSEC3Iter, Text: "151 > 150"}
+	if !strings.Contains(e.String(), "27") || !strings.Contains(e.String(), "151 > 150") {
+		t.Errorf("EDE.String() = %q", e)
+	}
+}
+
+func TestRRSIGAppendSignedPart(t *testing.T) {
+	sig := RRSIG{
+		TypeCovered: TypeA, Algorithm: AlgEd25519, Labels: 2, OrigTTL: 300,
+		Expiration: 2000, Inception: 1000, KeyTag: 42,
+		SignerName: MustParseName("example.com"),
+		Signature:  []byte{1, 2, 3, 4},
+	}
+	part := sig.AppendSignedPart(nil)
+	full := AppendRData(nil, sig)
+	if len(part) != len(full)-len(sig.Signature) {
+		t.Fatalf("signed part %d, full %d", len(part), len(full))
+	}
+	// The prefix must be identical.
+	for i := range part {
+		if part[i] != full[i] {
+			t.Fatalf("prefix mismatch at %d", i)
+		}
+	}
+}
+
+func TestNSEC3StringForms(t *testing.T) {
+	r := NSEC3{
+		HashAlg: NSEC3HashSHA1, Flags: NSEC3FlagOptOut, Iterations: 10,
+		Salt:            []byte{0xAA, 0xBB},
+		NextHashedOwner: make([]byte, 20),
+		Types:           NewTypeBitmap(TypeA),
+	}
+	s := r.String()
+	if !strings.Contains(s, "AABB") || !strings.Contains(s, " 10 ") {
+		t.Errorf("NSEC3 string %q", s)
+	}
+	r.Salt = nil
+	if !strings.Contains(r.String(), " - ") {
+		t.Errorf("empty salt not dashed: %q", r.String())
+	}
+	p := NSEC3PARAM{HashAlg: 1, Iterations: 0}
+	if p.String() != "1 0 0 -" {
+		t.Errorf("NSEC3PARAM string %q", p.String())
+	}
+}
+
+func TestNewQueryShape(t *testing.T) {
+	q := NewQuery(7, MustParseName("x.example"), TypeAAAA, true)
+	if !q.Header.RecursionDesired || q.Header.Response {
+		t.Error("query flags wrong")
+	}
+	if q.Question().Type != TypeAAAA || q.Question().Class != ClassIN {
+		t.Error("question wrong")
+	}
+	opt, ok := q.OPT()
+	if !ok || !opt.DO || opt.UDPSize != DefaultUDPSize {
+		t.Error("OPT wrong")
+	}
+	q2 := NewQuery(8, MustParseName("x.example"), TypeA, false)
+	if opt2, _ := q2.OPT(); opt2.DO {
+		t.Error("DO set without dnssec")
+	}
+}
+
+func TestQuestionOnEmptyMessage(t *testing.T) {
+	var m Message
+	if q := m.Question(); q.Name != "" || q.Type != TypeNone {
+		t.Errorf("zero question = %+v", q)
+	}
+}
+
+func TestNameChildValidation(t *testing.T) {
+	long := MustParseName(strings.Repeat("abcdefghij.", 22) + "com") // ~242 octets
+	if _, err := long.Child(strings.Repeat("x", 60)); err == nil {
+		t.Error("overlong child accepted")
+	}
+	if _, err := Root.Child(strings.Repeat("x", 64)); err == nil {
+		t.Error("overlong label accepted")
+	}
+}
+
+func TestFromLabelsExported(t *testing.T) {
+	n, err := FromLabels("WWW", "Example", "COM")
+	if err != nil || n != "www.example.com." {
+		t.Fatalf("FromLabels = %q, %v", n, err)
+	}
+	root, err := FromLabels()
+	if err != nil || root != Root {
+		t.Fatalf("FromLabels() = %q", root)
+	}
+	if _, err := FromLabels(""); err == nil {
+		t.Fatal("empty label accepted")
+	}
+}

@@ -1,0 +1,391 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Header flag bits within the third/fourth header octets, as a uint16.
+const (
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagTC = 1 << 9
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+	flagAD = 1 << 5
+	flagCD = 1 << 4
+)
+
+// Header is the fixed 12-octet DNS message header (RFC 1035 §4.1.1)
+// with the DNSSEC AD/CD bits (RFC 4035 §3.1.6, §3.2.2).
+type Header struct {
+	ID                 uint16
+	Response           bool // QR
+	Opcode             Opcode
+	Authoritative      bool  // AA
+	Truncated          bool  // TC
+	RecursionDesired   bool  // RD
+	RecursionAvailable bool  // RA
+	AuthenticatedData  bool  // AD
+	CheckingDisabled   bool  // CD
+	RCode              RCode // low 4 bits; extended bits live in OPT
+}
+
+func (h Header) flags() uint16 {
+	var f uint16
+	if h.Response {
+		f |= flagQR
+	}
+	f |= uint16(h.Opcode&0xF) << 11
+	if h.Authoritative {
+		f |= flagAA
+	}
+	if h.Truncated {
+		f |= flagTC
+	}
+	if h.RecursionDesired {
+		f |= flagRD
+	}
+	if h.RecursionAvailable {
+		f |= flagRA
+	}
+	if h.AuthenticatedData {
+		f |= flagAD
+	}
+	if h.CheckingDisabled {
+		f |= flagCD
+	}
+	f |= uint16(h.RCode & 0xF)
+	return f
+}
+
+func headerFromFlags(f uint16) Header {
+	return Header{
+		Response:           f&flagQR != 0,
+		Opcode:             Opcode(f >> 11 & 0xF),
+		Authoritative:      f&flagAA != 0,
+		Truncated:          f&flagTC != 0,
+		RecursionDesired:   f&flagRD != 0,
+		RecursionAvailable: f&flagRA != 0,
+		AuthenticatedData:  f&flagAD != 0,
+		CheckingDisabled:   f&flagCD != 0,
+		RCode:              RCode(f & 0xF),
+	}
+}
+
+// Question is a query tuple (RFC 1035 §4.1.2).
+type Question struct {
+	Name  Name
+	Type  Type
+	Class Class
+}
+
+// String renders the question in dig-like form.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, q.Class, q.Type)
+}
+
+// RR is a resource record: owner name, class, TTL and typed payload.
+// The Type lives on the payload (RR.Type() delegates to Data).
+type RR struct {
+	Name  Name
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// Type returns the record type from the payload.
+func (r RR) Type() Type { return r.Data.Type() }
+
+// String renders the record in master-file form.
+func (r RR) String() string {
+	return fmt.Sprintf("%s %d %s %s %s", r.Name, r.TTL, r.Class, r.Type(), r.Data)
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR // includes the OPT pseudo-RR, if any
+}
+
+// Question returns the first question, or a zero Question if none.
+func (m *Message) Question() Question {
+	if len(m.Questions) == 0 {
+		return Question{}
+	}
+	return m.Questions[0]
+}
+
+// OPT returns the OPT pseudo-RR from the additional section, if present.
+func (m *Message) OPT() (*OPT, bool) {
+	for i := range m.Additional {
+		if o, ok := m.Additional[i].Data.(*OPT); ok {
+			return o, true
+		}
+	}
+	return nil, false
+}
+
+// ExtendedRCode combines the 4-bit header RCODE with the high bits from
+// the OPT TTL field (RFC 6891 §6.1.3).
+func (m *Message) ExtendedRCode() RCode {
+	rc := m.Header.RCode
+	if o, ok := m.OPT(); ok {
+		rc |= RCode(o.ExtRCodeHigh) << 4
+	}
+	return rc
+}
+
+// SetExtendedRCode splits rc into the header and OPT high bits. If rc
+// needs more than 4 bits and no OPT is present, an OPT is added.
+func (m *Message) SetExtendedRCode(rc RCode) {
+	m.Header.RCode = rc & 0xF
+	high := uint8(rc >> 4)
+	o, ok := m.OPT()
+	if !ok {
+		if high == 0 {
+			return
+		}
+		o = &OPT{UDPSize: DefaultUDPSize}
+		m.Additional = append(m.Additional, RR{Name: Root, Class: Class(o.UDPSize), Data: o})
+	}
+	o.ExtRCodeHigh = high
+}
+
+// errTruncate signals that packing exceeded the size budget.
+var errTruncate = errors.New("dnswire: message exceeds size limit")
+
+// Pack encodes the message with name compression and no size limit.
+func (m *Message) Pack() ([]byte, error) { return m.PackBuffer(nil, 0, true) }
+
+// PackBuffer encodes the message into dst (may be nil). If maxSize > 0
+// and the encoding would exceed it, records are dropped section by
+// section from the tail, the TC bit is set, and the shortened message is
+// returned (standard UDP truncation behaviour). compress toggles name
+// compression (the ablation benches flip it).
+func (m *Message) PackBuffer(dst []byte, maxSize int, compress bool) ([]byte, error) {
+	counts := [3]int{len(m.Answers), len(m.Authority), len(m.Additional)}
+	for {
+		buf, err := m.packCounts(dst, counts, compress)
+		if err == nil {
+			if maxSize > 0 && len(buf) > maxSize {
+				err = errTruncate
+			} else {
+				return buf, nil
+			}
+		}
+		if !errors.Is(err, errTruncate) {
+			return nil, err
+		}
+		// Drop one record from the last non-empty section and retry
+		// with TC set.
+		switch {
+		case counts[2] > 0:
+			counts[2]--
+		case counts[1] > 0:
+			counts[1]--
+		case counts[0] > 0:
+			counts[0]--
+		default:
+			return nil, fmt.Errorf("dnswire: question alone exceeds %d octets", maxSize)
+		}
+		m.Header.Truncated = true
+	}
+}
+
+func (m *Message) packCounts(dst []byte, counts [3]int, compress bool) ([]byte, error) {
+	e := &encoder{buf: dst[:0]}
+	if compress {
+		e.table = make(map[Name]int, 16)
+	}
+	e.u16(m.Header.ID)
+	e.u16(m.Header.flags())
+	e.u16(uint16(len(m.Questions)))
+	e.u16(uint16(counts[0]))
+	e.u16(uint16(counts[1]))
+	e.u16(uint16(counts[2]))
+	for _, q := range m.Questions {
+		e.name(q.Name, true)
+		e.u16(uint16(q.Type))
+		e.u16(uint16(q.Class))
+	}
+	sections := [3][]RR{
+		m.Answers[:counts[0]],
+		m.Authority[:counts[1]],
+		m.Additional[:counts[2]],
+	}
+	for _, sec := range sections {
+		for _, rr := range sec {
+			if err := packRR(e, rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+func packRR(e *encoder, rr RR) error {
+	e.name(rr.Name, true)
+	e.u16(uint16(rr.Type()))
+	if o, ok := rr.Data.(*OPT); ok {
+		// The OPT struct is authoritative for the fields the pseudo-RR
+		// smuggles through class and TTL (RFC 6891 §6.1.2–6.1.3).
+		e.u16(o.UDPSize)
+		e.u32(o.ttl())
+	} else {
+		e.u16(uint16(rr.Class))
+		e.u32(rr.TTL)
+	}
+	lenOff := len(e.buf)
+	e.u16(0) // RDLENGTH placeholder
+	start := len(e.buf)
+	rr.Data.appendRData(e)
+	rdlen := len(e.buf) - start
+	if rdlen > 0xFFFF {
+		return fmt.Errorf("dnswire: RDATA of %s exceeds 65535 octets", rr.Name)
+	}
+	e.buf[lenOff] = byte(rdlen >> 8)
+	e.buf[lenOff+1] = byte(rdlen)
+	return nil
+}
+
+// Unpack decodes a wire-format message.
+func Unpack(msg []byte) (*Message, error) {
+	d := &decoder{msg: msg, end: len(msg)}
+	var m Message
+	id, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	m.Header = headerFromFlags(flags)
+	m.Header.ID = id
+	var counts [4]uint16
+	for i := range counts {
+		if counts[i], err = d.u16(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < int(counts[0]); i++ {
+		var q Question
+		if q.Name, err = d.name(); err != nil {
+			return nil, fmt.Errorf("dnswire: question %d: %w", i, err)
+		}
+		t, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		c, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		q.Type, q.Class = Type(t), Class(c)
+		m.Questions = append(m.Questions, q)
+	}
+	for s, dstp := range []*[]RR{&m.Answers, &m.Authority, &m.Additional} {
+		for i := 0; i < int(counts[s+1]); i++ {
+			rr, err := unpackRR(d)
+			if err != nil {
+				return nil, fmt.Errorf("dnswire: section %d record %d: %w", s, i, err)
+			}
+			*dstp = append(*dstp, rr)
+		}
+	}
+	if d.off != len(msg) {
+		return nil, fmt.Errorf("dnswire: %d trailing octets after message", len(msg)-d.off)
+	}
+	return &m, nil
+}
+
+func unpackRR(d *decoder) (RR, error) {
+	var rr RR
+	var err error
+	if rr.Name, err = d.name(); err != nil {
+		return rr, err
+	}
+	t16, err := d.u16()
+	if err != nil {
+		return rr, err
+	}
+	t := Type(t16)
+	c, err := d.u16()
+	if err != nil {
+		return rr, err
+	}
+	rr.Class = Class(c)
+	if rr.TTL, err = d.u32(); err != nil {
+		return rr, err
+	}
+	rdlen, err := d.u16()
+	if err != nil {
+		return rr, err
+	}
+	if t == TypeOPT {
+		opt, err := parseOPT(d, rr.Class, rr.TTL, int(rdlen))
+		if err != nil {
+			return rr, err
+		}
+		rr.Data = opt
+		return rr, nil
+	}
+	rr.Data, err = parseRData(t, d.msg, d.off, int(rdlen))
+	if err != nil {
+		return rr, err
+	}
+	d.off += int(rdlen)
+	return rr, nil
+}
+
+// String renders the message in a dig-like multi-section dump,
+// convenient in tests and the example programs.
+func (m *Message) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ";; opcode: %s, status: %s, id: %d\n",
+		m.Header.Opcode, m.ExtendedRCode(), m.Header.ID)
+	fmt.Fprintf(&b, ";; flags:")
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{m.Header.Response, "qr"}, {m.Header.Authoritative, "aa"},
+		{m.Header.Truncated, "tc"}, {m.Header.RecursionDesired, "rd"},
+		{m.Header.RecursionAvailable, "ra"}, {m.Header.AuthenticatedData, "ad"},
+		{m.Header.CheckingDisabled, "cd"},
+	} {
+		if f.on {
+			b.WriteByte(' ')
+			b.WriteString(f.name)
+		}
+	}
+	b.WriteByte('\n')
+	if len(m.Questions) > 0 {
+		b.WriteString(";; QUESTION:\n")
+		for _, q := range m.Questions {
+			fmt.Fprintf(&b, ";%s\n", q)
+		}
+	}
+	for _, sec := range []struct {
+		name string
+		rrs  []RR
+	}{{"ANSWER", m.Answers}, {"AUTHORITY", m.Authority}, {"ADDITIONAL", m.Additional}} {
+		if len(sec.rrs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, ";; %s:\n", sec.name)
+		for _, rr := range sec.rrs {
+			if _, isOPT := rr.Data.(*OPT); isOPT {
+				fmt.Fprintf(&b, ";; %s\n", rr.Data)
+				continue
+			}
+			fmt.Fprintf(&b, "%s\n", rr)
+		}
+	}
+	return b.String()
+}

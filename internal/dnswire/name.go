@@ -1,0 +1,380 @@
+// Package dnswire implements the DNS wire format: domain names with
+// compression, message headers, EDNS(0) including Extended DNS Errors
+// (RFC 8914), and a full resource-record codec covering every type the
+// NSEC3 measurement pipeline needs (A, AAAA, NS, SOA, CNAME, TXT, MX,
+// PTR, DNSKEY, RRSIG, DS, NSEC, NSEC3, NSEC3PARAM, OPT).
+//
+// The package is self-contained (standard library only) and is the base
+// substrate for everything else in this repository: the DNSSEC signer,
+// the NSEC3 chain builder, the authoritative server, the validating
+// resolver, and the scanner all speak through these types.
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Name is a fully-qualified domain name in normalized presentation form:
+// lowercase, with a trailing dot. The root is ".". Binary label octets
+// outside [!-~] or special characters are escaped \DDD / \c as in master
+// files, so every Name round-trips through its string form losslessly.
+//
+// All constructors in this package normalize to this form, so Name values
+// are directly comparable with == for case-insensitive DNS name equality.
+type Name string
+
+// Root is the DNS root name.
+const Root Name = "."
+
+// MaxNameWireLen is the maximum length of a domain name on the wire
+// (RFC 1035 §3.1).
+const MaxNameWireLen = 255
+
+// MaxLabelLen is the maximum length of a single label (RFC 1035 §3.1).
+const MaxLabelLen = 63
+
+// Errors returned by name parsing and packing.
+var (
+	ErrNameTooLong  = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel   = errors.New("dnswire: empty label")
+	ErrBadEscape    = errors.New("dnswire: bad escape sequence")
+	ErrBadPointer   = errors.New("dnswire: bad compression pointer")
+	ErrNameTrunc    = errors.New("dnswire: truncated name")
+)
+
+// ParseName parses a domain name in presentation format. Both absolute
+// ("example.com.") and relative ("example.com") inputs are accepted;
+// relative names are made absolute by appending the root. The empty
+// string and "." both denote the root. Escapes \DDD and \c are honored.
+func ParseName(s string) (Name, error) {
+	labels, err := splitPresentation(s)
+	if err != nil {
+		return "", err
+	}
+	return fromLabels(labels)
+}
+
+// FromLabels assembles a Name from raw (unescaped) labels, leftmost
+// first. Labels are lowercased and validated; no labels yields the root.
+func FromLabels(labels ...string) (Name, error) { return fromLabels(labels) }
+
+// MustParseName is ParseName that panics on error, for constants in tests
+// and examples.
+func MustParseName(s string) Name {
+	n, err := ParseName(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// fromLabels assembles a normalized Name from raw (unescaped) label
+// byte strings, lowercasing ASCII letters and validating lengths.
+func fromLabels(labels []string) (Name, error) {
+	if len(labels) == 0 {
+		return Root, nil
+	}
+	wireLen := 1 // root byte
+	var b strings.Builder
+	for _, l := range labels {
+		if len(l) == 0 {
+			return "", ErrEmptyLabel
+		}
+		if len(l) > MaxLabelLen {
+			return "", ErrLabelTooLong
+		}
+		wireLen += 1 + len(l)
+		if wireLen > MaxNameWireLen {
+			return "", ErrNameTooLong
+		}
+		b.WriteString(escapeLabel(lowerLabel(l)))
+		b.WriteByte('.')
+	}
+	return Name(b.String()), nil
+}
+
+// lowerLabel lowercases ASCII letters in a raw label.
+func lowerLabel(l string) string {
+	for i := 0; i < len(l); i++ {
+		if c := l[i]; c >= 'A' && c <= 'Z' {
+			lb := []byte(l)
+			for j := i; j < len(lb); j++ {
+				lb[j] = lowerByte(lb[j])
+			}
+			return string(lb)
+		}
+	}
+	return l
+}
+
+// splitPresentation splits a presentation-format name into raw label
+// strings, decoding escapes and lowercasing ASCII letters.
+func splitPresentation(s string) ([]string, error) {
+	if s == "" || s == "." {
+		return nil, nil
+	}
+	var labels []string
+	var cur []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\':
+			if i+1 >= len(s) {
+				return nil, ErrBadEscape
+			}
+			next := s[i+1]
+			if next >= '0' && next <= '9' {
+				if i+3 >= len(s) || s[i+2] < '0' || s[i+2] > '9' || s[i+3] < '0' || s[i+3] > '9' {
+					return nil, ErrBadEscape
+				}
+				v := int(next-'0')*100 + int(s[i+2]-'0')*10 + int(s[i+3]-'0')
+				if v > 255 {
+					return nil, ErrBadEscape
+				}
+				cur = append(cur, lowerByte(byte(v)))
+				i += 3
+			} else {
+				cur = append(cur, lowerByte(next))
+				i++
+			}
+		case c == '.':
+			if len(cur) == 0 {
+				return nil, ErrEmptyLabel
+			}
+			labels = append(labels, string(cur))
+			cur = cur[:0]
+		default:
+			cur = append(cur, lowerByte(c))
+		}
+	}
+	if len(cur) > 0 {
+		labels = append(labels, string(cur))
+	}
+	return labels, nil
+}
+
+func lowerByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}
+
+// escapeLabel renders a raw label in presentation form, escaping '.',
+// '\' and non-printable octets.
+func escapeLabel(l string) string {
+	needs := false
+	for i := 0; i < len(l); i++ {
+		c := l[i]
+		if c == '.' || c == '\\' || c < '!' || c > '~' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return l
+	}
+	var b strings.Builder
+	for i := 0; i < len(l); i++ {
+		c := l[i]
+		switch {
+		case c == '.' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < '!' || c > '~':
+			fmt.Fprintf(&b, "\\%03d", c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Labels returns the raw (unescaped) labels of n, leftmost first.
+// The root has no labels.
+func (n Name) Labels() []string {
+	labels, err := splitPresentation(string(n))
+	if err != nil {
+		// A Name constructed through this package cannot fail here.
+		panic(fmt.Sprintf("dnswire: corrupt Name %q: %v", string(n), err))
+	}
+	return labels
+}
+
+// String returns the presentation form ("." for the root).
+func (n Name) String() string {
+	if n == "" {
+		return "."
+	}
+	return string(n)
+}
+
+// IsRoot reports whether n is the DNS root.
+func (n Name) IsRoot() bool { return n == Root || n == "" }
+
+// CountLabels returns the number of labels (0 for the root).
+func (n Name) CountLabels() int { return len(n.Labels()) }
+
+// Parent returns the name with the leftmost label removed. The parent of
+// the root is the root.
+func (n Name) Parent() Name {
+	labels := n.Labels()
+	if len(labels) == 0 {
+		return Root
+	}
+	m, err := fromLabels(labels[1:])
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Child returns label + "." + n, validating the result.
+func (n Name) Child(label string) (Name, error) {
+	labels := append([]string{strings.ToLower(label)}, n.Labels()...)
+	return fromLabels(labels)
+}
+
+// MustChild is Child that panics on error.
+func (n Name) MustChild(label string) Name {
+	c, err := n.Child(label)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// IsSubdomainOf reports whether n is equal to or a descendant of zone.
+func (n Name) IsSubdomainOf(zone Name) bool {
+	if zone.IsRoot() {
+		return true
+	}
+	nl, zl := n.Labels(), zone.Labels()
+	if len(nl) < len(zl) {
+		return false
+	}
+	off := len(nl) - len(zl)
+	for i := range zl {
+		if nl[off+i] != zl[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Wildcard returns "*." + n.
+func (n Name) Wildcard() Name { return n.MustChild("*") }
+
+// IsWildcard reports whether the leftmost label of n is "*".
+func (n Name) IsWildcard() bool {
+	l := n.Labels()
+	return len(l) > 0 && l[0] == "*"
+}
+
+// CanonicalCompare implements the canonical DNS name ordering of
+// RFC 4034 §6.1: names are compared right-to-left label by label, each
+// label as a left-justified octet string with uppercase US-ASCII mapped
+// to lowercase (our labels are already lowercase). It returns -1, 0, or
+// +1.
+func CanonicalCompare(a, b Name) int {
+	al, bl := a.Labels(), b.Labels()
+	i, j := len(al)-1, len(bl)-1
+	for i >= 0 && j >= 0 {
+		if c := strings.Compare(al[i], bl[j]); c != 0 {
+			return c
+		}
+		i--
+		j--
+	}
+	switch {
+	case i >= 0:
+		return 1
+	case j >= 0:
+		return -1
+	}
+	return 0
+}
+
+// WireLen returns the encoded length of n without compression.
+func (n Name) WireLen() int {
+	l := 1
+	for _, lab := range n.Labels() {
+		l += 1 + len(lab)
+	}
+	return l
+}
+
+// appendName appends the uncompressed wire encoding of n to dst.
+func appendName(dst []byte, n Name) []byte {
+	for _, lab := range n.Labels() {
+		dst = append(dst, byte(len(lab)))
+		dst = append(dst, lab...)
+	}
+	return append(dst, 0)
+}
+
+// AppendWire appends the uncompressed wire encoding of n to dst. This is
+// the canonical (lowercase, uncompressed) form used by DNSSEC signing
+// and by NSEC3 hashing.
+func (n Name) AppendWire(dst []byte) []byte { return appendName(dst, n) }
+
+// readName decodes a possibly-compressed name starting at off in msg.
+// It returns the name and the offset just past the name's first
+// occurrence (i.e. past the pointer if the name was compressed).
+func readName(msg []byte, off int) (Name, int, error) {
+	var labels []string
+	ptrBudget := 64 // generous loop guard; real messages chain a few at most
+	end := -1       // offset to return (set at first pointer)
+	wireLen := 1
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrNameTrunc
+		}
+		c := msg[off]
+		switch {
+		case c == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			name, err := fromLabels(labels)
+			if err != nil {
+				return "", 0, err
+			}
+			return name, end, nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrNameTrunc
+			}
+			if ptrBudget--; ptrBudget < 0 {
+				return "", 0, ErrBadPointer
+			}
+			ptr := int(c&0x3F)<<8 | int(msg[off+1])
+			if end < 0 {
+				end = off + 2
+			}
+			if ptr >= off {
+				return "", 0, ErrBadPointer
+			}
+			off = ptr
+		case c&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type 0x%02x", c&0xC0)
+		default:
+			if off+1+int(c) > len(msg) {
+				return "", 0, ErrNameTrunc
+			}
+			wireLen += 1 + int(c)
+			if wireLen > MaxNameWireLen {
+				return "", 0, ErrNameTooLong
+			}
+			lab := make([]byte, c)
+			for i := range lab {
+				lab[i] = lowerByte(msg[off+1+i])
+			}
+			labels = append(labels, string(lab))
+			off += 1 + int(c)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package dnswire
+
+import "fmt"
+
+// Type is a DNS resource record type code.
+type Type uint16
+
+// Resource record types used by the pipeline.
+const (
+	TypeNone       Type = 0
+	TypeA          Type = 1
+	TypeNS         Type = 2
+	TypeCNAME      Type = 5
+	TypeSOA        Type = 6
+	TypePTR        Type = 12
+	TypeMX         Type = 15
+	TypeTXT        Type = 16
+	TypeAAAA       Type = 28
+	TypeOPT        Type = 41
+	TypeDS         Type = 43
+	TypeRRSIG      Type = 46
+	TypeNSEC       Type = 47
+	TypeDNSKEY     Type = 48
+	TypeNSEC3      Type = 50
+	TypeNSEC3PARAM Type = 51
+	TypeAXFR       Type = 252
+	TypeANY        Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeA:          "A",
+	TypeNS:         "NS",
+	TypeCNAME:      "CNAME",
+	TypeSOA:        "SOA",
+	TypePTR:        "PTR",
+	TypeMX:         "MX",
+	TypeTXT:        "TXT",
+	TypeAAAA:       "AAAA",
+	TypeOPT:        "OPT",
+	TypeDS:         "DS",
+	TypeRRSIG:      "RRSIG",
+	TypeNSEC:       "NSEC",
+	TypeDNSKEY:     "DNSKEY",
+	TypeNSEC3:      "NSEC3",
+	TypeNSEC3PARAM: "NSEC3PARAM",
+	TypeAXFR:       "AXFR",
+	TypeANY:        "ANY",
+}
+
+// String returns the mnemonic ("A", "NSEC3", …) or "TYPEn" (RFC 3597).
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// ParseType parses a type mnemonic or RFC 3597 "TYPEn" form.
+func ParseType(s string) (Type, error) {
+	for t, n := range typeNames {
+		if n == s {
+			return t, nil
+		}
+	}
+	var v uint16
+	if _, err := fmt.Sscanf(s, "TYPE%d", &v); err == nil {
+		return Type(v), nil
+	}
+	return 0, fmt.Errorf("dnswire: unknown RR type %q", s)
+}
+
+// Class is a DNS class code.
+type Class uint16
+
+// Classes. Only IN matters in practice; ClassNone and ClassANY appear in
+// dynamic update, and OPT abuses the class field for UDP payload size.
+const (
+	ClassIN   Class = 1
+	ClassNone Class = 254
+	ClassANY  Class = 255
+)
+
+// String returns the class mnemonic or "CLASSn".
+func (c Class) String() string {
+	switch c {
+	case ClassIN:
+		return "IN"
+	case ClassNone:
+		return "NONE"
+	case ClassANY:
+		return "ANY"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// RCode is a DNS response code, including extended codes carried in OPT.
+type RCode uint16
+
+// Response codes (RFC 1035 §4.1.1, RFC 6895).
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+var rcodeNames = map[RCode]string{
+	RCodeNoError:  "NOERROR",
+	RCodeFormErr:  "FORMERR",
+	RCodeServFail: "SERVFAIL",
+	RCodeNXDomain: "NXDOMAIN",
+	RCodeNotImp:   "NOTIMP",
+	RCodeRefused:  "REFUSED",
+}
+
+// String returns the RCODE mnemonic or "RCODEn".
+func (r RCode) String() string {
+	if s, ok := rcodeNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("RCODE%d", uint16(r))
+}
+
+// Opcode is a DNS operation code.
+type Opcode uint8
+
+// Opcodes.
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+// String returns the opcode mnemonic.
+func (o Opcode) String() string {
+	switch o {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeNotify:
+		return "NOTIFY"
+	case OpcodeUpdate:
+		return "UPDATE"
+	}
+	return fmt.Sprintf("OPCODE%d", uint8(o))
+}
+
+// SecAlgorithm is a DNSSEC signing algorithm number (RFC 4034 App. A,
+// updated by RFCs 5702, 6605, 8080).
+type SecAlgorithm uint8
+
+// DNSSEC algorithms implemented by internal/dnssec.
+const (
+	AlgRSASHA256       SecAlgorithm = 8
+	AlgECDSAP256SHA256 SecAlgorithm = 13
+	AlgEd25519         SecAlgorithm = 15
+)
+
+// String returns the algorithm mnemonic.
+func (a SecAlgorithm) String() string {
+	switch a {
+	case AlgRSASHA256:
+		return "RSASHA256"
+	case AlgECDSAP256SHA256:
+		return "ECDSAP256SHA256"
+	case AlgEd25519:
+		return "ED25519"
+	}
+	return fmt.Sprintf("ALG%d", uint8(a))
+}
+
+// DigestType is a DS digest algorithm (RFC 4034 §5.1.3 registry).
+type DigestType uint8
+
+// DS digest types.
+const (
+	DigestSHA1   DigestType = 1
+	DigestSHA256 DigestType = 2
+	DigestSHA384 DigestType = 4
+)
+
+// NSEC3HashAlg is an NSEC3 hash algorithm number (RFC 5155 §11).
+// SHA-1 is the only value ever assigned.
+type NSEC3HashAlg uint8
+
+// NSEC3HashSHA1 is the sole defined NSEC3 hash algorithm.
+const NSEC3HashSHA1 NSEC3HashAlg = 1
+
+// DNSKEY flag bits (RFC 4034 §2.1.1).
+const (
+	DNSKEYFlagZone = 0x0100 // ZONE: key may sign zone data
+	DNSKEYFlagSEP  = 0x0001 // SEP: secure entry point (conventionally the KSK)
+)
+
+// NSEC3 flag bits (RFC 5155 §3.1.2).
+const (
+	NSEC3FlagOptOut = 0x01 // Opt-Out: span may cover unsigned delegations
+)

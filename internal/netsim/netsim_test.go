@@ -1,0 +1,253 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// echoHandler answers every query with NOERROR and a fixed TXT record.
+type echoHandler struct{ txt string }
+
+func (h echoHandler) Handle(ctx context.Context, from netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+	resp := &dnswire.Message{
+		Header: dnswire.Header{
+			ID: q.Header.ID, Response: true, Authoritative: true,
+			RecursionDesired: q.Header.RecursionDesired,
+		},
+		Questions: q.Questions,
+	}
+	resp.Answers = append(resp.Answers, dnswire.RR{
+		Name: q.Question().Name, Class: dnswire.ClassIN, TTL: 60,
+		Data: dnswire.TXT{Strings: []string{h.txt}},
+	})
+	if opt, ok := q.OPT(); ok {
+		resp.Additional = append(resp.Additional, (&dnswire.OPT{UDPSize: dnswire.DefaultUDPSize, DO: opt.DO}).AsRR())
+	}
+	return resp
+}
+
+func TestNetworkExchange(t *testing.T) {
+	n := NewNetwork(1)
+	addr := Addr4(192, 0, 2, 1)
+	n.Register(addr, echoHandler{txt: "hello"})
+	q := dnswire.NewQuery(42, dnswire.MustParseName("test.example"), dnswire.TypeTXT, false)
+	resp, err := n.Exchange(context.Background(), addr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.ID != 42 || len(resp.Answers) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if got := resp.Answers[0].Data.(dnswire.TXT).Strings[0]; got != "hello" {
+		t.Fatalf("txt = %q", got)
+	}
+}
+
+func TestNetworkUnreachable(t *testing.T) {
+	n := NewNetwork(1)
+	q := dnswire.NewQuery(1, dnswire.MustParseName("x."), dnswire.TypeA, false)
+	_, err := n.Exchange(context.Background(), Addr4(203, 0, 113, 99), q)
+	if !errors.Is(err, ErrHostUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNetworkUnregister(t *testing.T) {
+	n := NewNetwork(1)
+	addr := Addr4(192, 0, 2, 2)
+	n.Register(addr, echoHandler{})
+	if n.NumHosts() != 1 {
+		t.Fatal("host not registered")
+	}
+	n.Unregister(addr)
+	if n.NumHosts() != 0 {
+		t.Fatal("host not unregistered")
+	}
+}
+
+func TestNetworkLoss(t *testing.T) {
+	n := NewNetwork(7)
+	n.LossRate = 1.0
+	addr := Addr4(192, 0, 2, 3)
+	n.Register(addr, echoHandler{})
+	q := dnswire.NewQuery(1, dnswire.MustParseName("x."), dnswire.TypeA, false)
+	if _, err := n.Exchange(context.Background(), addr, q); !errors.Is(err, ErrPacketLost) {
+		t.Fatalf("err = %v", err)
+	}
+	// Statistical loss: about half at 0.5.
+	n.LossRate = 0.5
+	lost := 0
+	for i := 0; i < 400; i++ {
+		if _, err := n.Exchange(context.Background(), addr, q); err != nil {
+			lost++
+		}
+	}
+	if lost < 120 || lost > 280 {
+		t.Fatalf("lost %d/400 at 50 %% loss", lost)
+	}
+}
+
+func TestNetworkLatencyAndCancellation(t *testing.T) {
+	n := NewNetwork(1)
+	n.Latency = 50 * time.Millisecond
+	addr := Addr4(192, 0, 2, 4)
+	n.Register(addr, echoHandler{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	q := dnswire.NewQuery(1, dnswire.MustParseName("x."), dnswire.TypeA, false)
+	if _, err := n.Exchange(ctx, addr, q); err == nil {
+		t.Fatal("latency did not respect context")
+	}
+}
+
+func TestNetworkTruncationFallsBackToTCPPath(t *testing.T) {
+	// A handler returning an oversized answer; the simulated exchange
+	// must deliver the full (TCP-path) message, not a truncated one.
+	big := strings.Repeat("x", 200)
+	h := HandlerFunc(func(ctx context.Context, from netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+		resp := &dnswire.Message{
+			Header:    dnswire.Header{ID: q.Header.ID, Response: true},
+			Questions: q.Questions,
+		}
+		for i := 0; i < 20; i++ {
+			resp.Answers = append(resp.Answers, dnswire.RR{
+				Name: q.Question().Name, Class: dnswire.ClassIN, TTL: 1,
+				Data: dnswire.TXT{Strings: []string{big}},
+			})
+		}
+		return resp
+	})
+	n := NewNetwork(1)
+	addr := Addr4(192, 0, 2, 5)
+	n.Register(addr, h)
+	q := dnswire.NewQuery(5, dnswire.MustParseName("big.example"), dnswire.TypeTXT, false)
+	// Client advertises a small UDP size.
+	opt, _ := q.OPT()
+	opt.UDPSize = 512
+	resp, err := n.Exchange(context.Background(), addr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Truncated {
+		t.Fatal("got truncated response after fallback")
+	}
+	if len(resp.Answers) != 20 {
+		t.Fatalf("answers = %d, want 20", len(resp.Answers))
+	}
+}
+
+func TestAddrHelpers(t *testing.T) {
+	a := Addr4(10, 1, 2, 3)
+	if a.Addr().String() != "10.1.2.3" || a.Port() != 53 {
+		t.Fatalf("Addr4 = %s", a)
+	}
+	b := Addr6(0x1234)
+	if !b.Addr().Is6() || b.Port() != 53 {
+		t.Fatalf("Addr6 = %s", b)
+	}
+	if Addr6(1) == Addr6(2) {
+		t.Fatal("Addr6 not unique")
+	}
+}
+
+// TestRealUDPServerAndClient exercises the real-socket path on
+// loopback: UDP round trip plus TCP fallback on truncation.
+func TestRealUDPServerAndClient(t *testing.T) {
+	srv := &Server{Handler: echoHandler{txt: "real-socket"}}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &UDPExchanger{Timeout: 2 * time.Second}
+	q := dnswire.NewQuery(77, dnswire.MustParseName("udp.example"), dnswire.TypeTXT, true)
+	resp, err := client.Exchange(context.Background(), addr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].Data.(dnswire.TXT).Strings[0] != "real-socket" {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+func TestRealUDPTruncationTCPFallback(t *testing.T) {
+	big := strings.Repeat("y", 200)
+	h := HandlerFunc(func(ctx context.Context, from netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+		resp := &dnswire.Message{
+			Header:    dnswire.Header{ID: q.Header.ID, Response: true},
+			Questions: q.Questions,
+		}
+		for i := 0; i < 30; i++ {
+			resp.Answers = append(resp.Answers, dnswire.RR{
+				Name: q.Question().Name, Class: dnswire.ClassIN, TTL: 1,
+				Data: dnswire.TXT{Strings: []string{big}},
+			})
+		}
+		return resp
+	})
+	srv := &Server{Handler: h, UDPSize: 512}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &UDPExchanger{Timeout: 2 * time.Second}
+	q := dnswire.NewQuery(78, dnswire.MustParseName("big.example"), dnswire.TypeTXT, false)
+	resp, err := client.Exchange(context.Background(), addr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Truncated {
+		t.Fatal("client did not fall back to TCP")
+	}
+	if len(resp.Answers) != 30 {
+		t.Fatalf("answers = %d, want 30", len(resp.Answers))
+	}
+}
+
+func TestRealServerRejectsDoubleListen(t *testing.T) {
+	srv := &Server{Handler: echoHandler{}}
+	_, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Fatal("double listen accepted")
+	}
+}
+
+func TestRealServerIgnoresGarbage(t *testing.T) {
+	srv := &Server{Handler: echoHandler{txt: "ok"}}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Send garbage first; the server must survive and keep answering.
+	conn, err := netDialUDP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = conn.Write([]byte{0xde, 0xad})
+	conn.Close()
+	client := &UDPExchanger{Timeout: 2 * time.Second}
+	q := dnswire.NewQuery(79, dnswire.MustParseName("ok.example"), dnswire.TypeTXT, false)
+	if _, err := client.Exchange(context.Background(), addr, q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// netDialUDP dials a UDP socket to addr (test helper).
+func netDialUDP(addr netip.AddrPort) (net.Conn, error) {
+	return net.Dial("udp", addr.String())
+}

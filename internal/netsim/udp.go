@@ -1,0 +1,282 @@
+package netsim
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// This file is the real-socket implementation of the same Exchanger /
+// Handler contracts: a UDP+TCP DNS server and a UDP client with TCP
+// fallback on truncation. The cmd/ binaries and the loopback
+// integration tests run on it; everything else is transport-agnostic.
+
+// Server serves a Handler over UDP and TCP on the same address.
+type Server struct {
+	Handler Handler
+	// UDPSize caps UDP responses; TCP responses are unlimited.
+	// Zero means dnswire.DefaultUDPSize.
+	UDPSize int
+
+	mu       sync.Mutex
+	pc       net.PacketConn
+	ln       net.Listener
+	wg       sync.WaitGroup
+	shutdown chan struct{}
+}
+
+// Listen binds UDP and TCP on addr ("127.0.0.1:0" for an ephemeral
+// loopback port) and starts serving until Close.
+func (s *Server) Listen(addr string) (netip.AddrPort, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown != nil {
+		return netip.AddrPort{}, errors.New("netsim: server already listening")
+	}
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	bound := pc.LocalAddr().(*net.UDPAddr).AddrPort()
+	ln, err := net.Listen("tcp", bound.String())
+	if err != nil {
+		pc.Close()
+		return netip.AddrPort{}, err
+	}
+	s.pc, s.ln = pc, ln
+	s.shutdown = make(chan struct{})
+	s.wg.Add(2)
+	go s.serveUDP()
+	go s.serveTCP()
+	return bound, nil
+}
+
+// Close stops the server and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.shutdown == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	close(s.shutdown)
+	s.pc.Close()
+	s.ln.Close()
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	s.shutdown = nil
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) udpSize() int {
+	if s.UDPSize > 0 {
+		return s.UDPSize
+	}
+	return dnswire.DefaultUDPSize
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, from, err := s.pc.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-s.shutdown:
+				return
+			default:
+				continue
+			}
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		fromAP := from.(*net.UDPAddr).AddrPort()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			query, err := dnswire.Unpack(pkt)
+			if err != nil || len(query.Questions) == 0 || query.Header.Response {
+				return // garbage: drop, like most servers
+			}
+			resp := s.Handler.Handle(context.Background(), fromAP, query)
+			if resp == nil {
+				return
+			}
+			size := s.udpSize()
+			if opt, ok := query.OPT(); ok && int(opt.UDPSize) < size {
+				size = int(opt.UDPSize)
+			}
+			if size < 512 {
+				size = 512
+			}
+			wire, err := resp.PackBuffer(nil, size, true)
+			if err != nil {
+				return
+			}
+			_, _ = s.pc.WriteTo(wire, from)
+		}()
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.shutdown:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+			for {
+				query, err := readTCPMessage(conn)
+				if err != nil {
+					return
+				}
+				from := conn.RemoteAddr().(*net.TCPAddr).AddrPort()
+				resp := s.Handler.Handle(context.Background(), from, query)
+				if resp == nil {
+					return
+				}
+				if err := writeTCPMessage(conn, resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func readTCPMessage(r io.Reader) (*dnswire.Message, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	msgLen := binary.BigEndian.Uint16(lenBuf[:])
+	buf := make([]byte, msgLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return dnswire.Unpack(buf)
+}
+
+func writeTCPMessage(w io.Writer, m *dnswire.Message) error {
+	wire, err := m.Pack()
+	if err != nil {
+		return err
+	}
+	if len(wire) > 65535 {
+		return fmt.Errorf("netsim: message too large for TCP framing")
+	}
+	out := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(out, uint16(len(wire)))
+	copy(out[2:], wire)
+	_, err = w.Write(out)
+	return err
+}
+
+// UDPExchanger is the real-socket client: UDP with retry and TCP
+// fallback when the response arrives truncated.
+type UDPExchanger struct {
+	// Timeout per attempt; zero means 3s.
+	Timeout time.Duration
+	// Retries after the first attempt; default 1.
+	Retries int
+}
+
+func (u *UDPExchanger) timeout() time.Duration {
+	if u.Timeout > 0 {
+		return u.Timeout
+	}
+	return 3 * time.Second
+}
+
+// Exchange implements Exchanger.
+func (u *UDPExchanger) Exchange(ctx context.Context, server netip.AddrPort, query *dnswire.Message) (*dnswire.Message, error) {
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, err
+	}
+	attempts := 1 + u.Retries
+	if u.Retries == 0 {
+		attempts = 2
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := u.exchangeUDPOnce(ctx, server, query, wire)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Header.Truncated {
+			return u.exchangeTCP(ctx, server, query)
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+func (u *UDPExchanger) exchangeUDPOnce(ctx context.Context, server netip.AddrPort, query *dnswire.Message, wire []byte) (*dnswire.Message, error) {
+	d := net.Dialer{Timeout: u.timeout()}
+	conn, err := d.DialContext(ctx, "udp", server.String())
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(u.timeout())
+	if ctxDL, ok := ctx.Deadline(); ok && ctxDL.Before(deadline) {
+		deadline = ctxDL
+	}
+	_ = conn.SetDeadline(deadline)
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 65535)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			continue // garbage datagram; keep waiting
+		}
+		if resp.Header.ID != query.Header.ID || !resp.Header.Response {
+			continue // mismatched transaction
+		}
+		return resp, nil
+	}
+}
+
+func (u *UDPExchanger) exchangeTCP(ctx context.Context, server netip.AddrPort, query *dnswire.Message) (*dnswire.Message, error) {
+	d := net.Dialer{Timeout: u.timeout()}
+	conn, err := d.DialContext(ctx, "tcp", server.String())
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(u.timeout())
+	if ctxDL, ok := ctx.Deadline(); ok && ctxDL.Before(deadline) {
+		deadline = ctxDL
+	}
+	_ = conn.SetDeadline(deadline)
+	if err := writeTCPMessage(conn, query); err != nil {
+		return nil, err
+	}
+	return readTCPMessage(conn)
+}

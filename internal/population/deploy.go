@@ -1,0 +1,162 @@
+package population
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/nsec3"
+	"repro/internal/testbed"
+	"repro/internal/zone"
+)
+
+// Deployment records where the universe was materialized.
+type Deployment struct {
+	Universe  *Universe
+	Hierarchy *testbed.Hierarchy
+	// OperatorServers maps operator name to its shared server address.
+	OperatorServers map[string]netip.AddrPort
+	// TLDServers maps TLD name to its authoritative server address.
+	TLDServers map[string]netip.AddrPort
+}
+
+// Deploy materializes the universe into real zones on a simulated
+// network: the root, every TLD (all 1,449), one zone per registered
+// domain hosted on its operator's shared name server, and one
+// infrastructure zone per operator (ns1.<infra-domain> lives there, so
+// delegations are glue-less and operator attribution via NS records
+// works the way the paper's §5.1 aggregation does).
+//
+// Every domain zone gets: apex A, "www" A, and an MX — enough surface
+// that a random-subdomain probe triggers a genuine negative response.
+func Deploy(u *Universe, net *netsim.Network, inception, expiration uint32) (*Deployment, error) {
+	b := testbed.NewBuilder(inception, expiration)
+	b.AddZone(testbed.ZoneSpec{
+		Apex:   dnswire.Root,
+		Sign:   zone.SignConfig{Denial: zone.DenialNSEC},
+		Server: netsim.Addr4(198, 41, 0, 4),
+	})
+
+	// TLD zones. Addresses 192.6.x.y.
+	tldAddrs := make(map[string]netip.AddrPort, len(u.TLDs))
+	for i, tld := range u.TLDs {
+		addr := netsim.Addr4(192, 6, byte(i>>8), byte(i))
+		tldAddrs[tld.Name] = addr
+		apex, err := dnswire.FromLabels(tld.Name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := zone.SignConfig{}
+		switch {
+		case !tld.DNSSEC:
+			cfg.Denial = zone.DenialNone
+		case tld.NSEC3:
+			cfg.Denial = zone.DenialNSEC3
+			cfg.NSEC3 = nsec3.Params{
+				Iterations: tld.Iterations,
+				Salt:       deterministicSalt(tld.SaltLen, uint64(i)+1),
+			}
+			cfg.OptOut = tld.OptOut
+		default:
+			cfg.Denial = zone.DenialNSEC
+		}
+		b.AddZone(testbed.ZoneSpec{
+			Apex: apex, Sign: cfg, Unsigned: !tld.DNSSEC, Server: addr,
+		})
+	}
+
+	// Operator infrastructure zones and shared servers. 203.0.x.y.
+	opServers := make(map[string]netip.AddrPort, len(u.Operators))
+	idx := 0
+	for _, op := range Operators() {
+		addr := netsim.Addr4(203, 0, byte(idx>>8), byte(idx))
+		idx++
+		opServers[op.Name] = addr
+		infraApex, err := dnswire.ParseName(op.InfraDomain)
+		if err != nil {
+			return nil, err
+		}
+		b.AddZone(testbed.ZoneSpec{
+			Apex: infraApex,
+			Populate: func(z *zone.Zone) {
+				// The operator's name server host, resolvable by the
+				// recursive resolver when chasing glue-less NS.
+				z.MustAdd(dnswire.RR{Name: z.Apex.MustChild("ns1"), Class: dnswire.ClassIN,
+					TTL: 3600, Data: dnswire.A{Addr: addr.Addr()}})
+			},
+			Sign:   zone.SignConfig{Denial: zone.DenialNSEC},
+			Server: addr,
+		})
+	}
+	// Infra TLDs that are not in the universe's TLD table must still
+	// resolve; ensure every infra domain's TLD exists as a zone.
+	for _, op := range Operators() {
+		infraApex := dnswire.MustParseName(op.InfraDomain)
+		tld := infraApex.Parent()
+		if _, ok := tldAddrs[tld.Labels()[0]]; !ok && !tld.IsRoot() {
+			addr := netsim.Addr4(192, 7, 0, byte(len(tldAddrs)))
+			tldAddrs[tld.Labels()[0]] = addr
+			b.AddZone(testbed.ZoneSpec{
+				Apex: tld, Sign: zone.SignConfig{Denial: zone.DenialNSEC}, Server: addr,
+			})
+		}
+	}
+
+	// Domain zones, one per spec, on the operator's server, with the
+	// operator's NS host (glue-less, out-of-bailiwick).
+	for i := range u.Domains {
+		spec := &u.Domains[i]
+		op := u.Operators[spec.Operator]
+		nsHost := dnswire.MustParseName("ns1." + op.InfraDomain)
+		cfg := zone.SignConfig{}
+		switch {
+		case !spec.DNSSEC:
+			cfg.Denial = zone.DenialNone
+		case spec.NSEC3:
+			cfg.Denial = zone.DenialNSEC3
+			cfg.NSEC3 = nsec3.Params{
+				Iterations: spec.Iterations,
+				Salt:       deterministicSalt(spec.SaltLen, uint64(i)+7),
+			}
+			cfg.OptOut = spec.OptOut
+		default:
+			cfg.Denial = zone.DenialNSEC
+		}
+		b.AddZone(testbed.ZoneSpec{
+			Apex:   spec.Name,
+			NSHost: nsHost,
+			Populate: func(z *zone.Zone) {
+				webIP := dnswire.A{Addr: netip.AddrFrom4([4]byte{198, 51, byte(i >> 8), byte(i)})}
+				z.MustAdd(dnswire.RR{Name: z.Apex, Class: dnswire.ClassIN, TTL: 300, Data: webIP})
+				z.MustAdd(dnswire.RR{Name: z.Apex.MustChild("www"), Class: dnswire.ClassIN, TTL: 300, Data: webIP})
+				z.MustAdd(dnswire.RR{Name: z.Apex, Class: dnswire.ClassIN, TTL: 300,
+					Data: dnswire.MX{Preference: 10, Host: z.Apex.MustChild("www")}})
+			},
+			Sign:     cfg,
+			Unsigned: !spec.DNSSEC,
+			Server:   opServers[spec.Operator],
+		})
+	}
+
+	h, err := b.Build(net)
+	if err != nil {
+		return nil, fmt.Errorf("population: deploying universe: %w", err)
+	}
+	// Open AXFR on the TLDs that publish their zone data (CZDS/AXFR in
+	// the paper's methodology); everything else refuses transfers.
+	for _, tld := range u.TLDs {
+		if !tld.OpenZoneData {
+			continue
+		}
+		addr := tldAddrs[tld.Name]
+		if srv, ok := h.Servers[addr]; ok {
+			apex, err := dnswire.FromLabels(tld.Name)
+			if err != nil {
+				return nil, err
+			}
+			srv.SetTransferPolicy(apex, zone.TransferOpen)
+		}
+	}
+	return &Deployment{Universe: u, Hierarchy: h, OperatorServers: opServers, TLDServers: tldAddrs}, nil
+}

@@ -1,0 +1,173 @@
+// Package population generates the synthetic registered-domain universe
+// the measurement pipeline scans: operators with their real-world NSEC3
+// parameter profiles (Table 2 of the paper), a long-tail operator mix
+// calibrated so the aggregate marginals reproduce Figure 1 (12.2 %
+// zero-iteration domains, 99.9 % ≤ 25 iterations, max 500; 8.6 % no
+// salt, 97.2 % ≤ 10 bytes, max 160), the TLD registry of §5.1
+// (including the Identity Digital cohort at 100 iterations), and a
+// Tranco-style ranked list for Figure 2.
+//
+// Everything is generated deterministically from a seed at a
+// configurable scale; the same specs are then materialized into real
+// signed zones and scanned end-to-end over the wire.
+package population
+
+import "repro/internal/nsec3"
+
+// ParamProfile is one (iterations, salt length) setting with a weight.
+type ParamProfile struct {
+	Iterations uint16
+	SaltLen    int
+	Weight     float64
+}
+
+// Operator is an authoritative DNS operator: its infrastructure domain
+// (NS host names live under it), its share of NSEC3-enabled domains,
+// and its parameter profiles.
+type Operator struct {
+	// Name is the display name used in Table 2.
+	Name string
+	// InfraDomain is the registered domain of its name servers
+	// (e.g. all Squarespace-hosted domains use ns*.squarespace-dns.com).
+	InfraDomain string
+	// Share is the fraction of NSEC3-enabled domains served
+	// exclusively by this operator.
+	Share float64
+	// Profiles are the parameter settings and their within-operator
+	// weights (Table 2 column 3).
+	Profiles []ParamProfile
+}
+
+// Operators returns the paper's Table 2 operators plus the calibrated
+// long tail. Shares of the named ten sum to 0.777 (77.7 % of
+// NSEC3-enabled domains, §5.1); the synthetic long-tail operators carry
+// the remaining 22.3 %.
+func Operators() []Operator {
+	ops := []Operator{
+		{Name: "Squarespace", InfraDomain: "squarespace-dns.com", Share: 0.394,
+			Profiles: []ParamProfile{{1, 8, 1.0}}},
+		{Name: "one.com", InfraDomain: "one-dns.net", Share: 0.095,
+			Profiles: []ParamProfile{{5, 5, 0.40}, {5, 4, 0.30}, {1, 2, 0.15}, {1, 4, 0.15}}},
+		{Name: "OVHcloud", InfraDomain: "ovh.net", Share: 0.084,
+			Profiles: []ParamProfile{{8, 8, 1.0}}},
+		{Name: "Wix.com", InfraDomain: "wixdns.net", Share: 0.050,
+			Profiles: []ParamProfile{{1, 8, 1.0}}},
+		{Name: "TransIP", InfraDomain: "transip.nl", Share: 0.042,
+			// 0.3 % still on the pre-2021 setting of 100 iterations (§5.1).
+			Profiles: []ParamProfile{{0, 8, 0.997}, {100, 8, 0.003}}},
+		{Name: "Loopia", InfraDomain: "loopia.se", Share: 0.036,
+			Profiles: []ParamProfile{{1, 1, 1.0}}},
+		{Name: "domainname.shop", InfraDomain: "domainnameshop.com", Share: 0.027,
+			Profiles: []ParamProfile{{0, 0, 1.0}}},
+		{Name: "TimeWeb", InfraDomain: "timeweb.ru", Share: 0.021,
+			Profiles: []ParamProfile{{3, 0, 1.0}}},
+		{Name: "Hostnet", InfraDomain: "hostnet.nl", Share: 0.015,
+			Profiles: []ParamProfile{{1, 4, 0.60}, {0, 0, 0.40}}},
+		{Name: "Hostpoint", InfraDomain: "hostpoint.ch", Share: 0.013,
+			Profiles: []ParamProfile{{1, 40, 1.0}}},
+	}
+	ops = append(ops, longTailOperators()...)
+	return ops
+}
+
+// longTailOperators spreads the remaining 22.3 % over synthetic
+// operators whose combined profile mixture brings the global marginals
+// to the Figure 1 targets.
+func longTailOperators() []Operator {
+	// Within-long-tail mixture (weights sum to 1):
+	mixture := []ParamProfile{
+		{0, 0, 0.100}, // no iterations, no salt (fully compliant)
+		{0, 8, 0.111}, // zero iterations with a salt
+		{1, 8, 0.250},
+		{1, 0, 0.043},
+		{2, 4, 0.150},
+		{5, 8, 0.100},
+		{6, 2, 0.0361},
+		{10, 4, 0.100},
+		{1, 16, 0.040}, // salts beyond 10 bytes (the 2.8 % tail)
+		{2, 24, 0.020},
+		{3, 40, 0.007},
+		{12, 4, 0.020},
+		{15, 8, 0.010},
+		{20, 4, 0.005},
+		{25, 8, 0.004},
+		{30, 8, 0.0015}, // the >25 iterations tail (0.1 % overall)
+		{50, 8, 0.0010},
+		{100, 8, 0.0008},
+		{150, 8, 0.0006},
+	}
+	// Split the tail across several operators so Table 2's "top 10"
+	// aggregation has a realistic remainder; each gets the same
+	// mixture (what matters for Figure 1 is the blended marginal).
+	const tailOps = 8
+	const tailShare = 0.223
+	out := make([]Operator, tailOps)
+	for i := range out {
+		out[i] = Operator{
+			Name:        tailOpName(i),
+			InfraDomain: tailOpName(i) + "-dns.net",
+			Share:       tailShare / tailOps,
+			Profiles:    mixture,
+		}
+	}
+	return out
+}
+
+func tailOpName(i int) string {
+	names := [...]string{
+		"registrarone", "hostomatic", "dnsfarm", "zonemasters",
+		"cheapdomains", "webparkers", "eurohost", "nordicdns",
+	}
+	return names[i]
+}
+
+// RareSpecimens returns the fixed long-tail oddities the paper reports
+// as absolute counts, to be injected at any scale so the observed
+// maxima survive: 43 domains above 150 iterations (12 of them at 500,
+// §5.1) and 170 domains with salts longer than 45 bytes (9 of them at
+// 160 bytes, all under one operator).
+type RareSpecimen struct {
+	Iterations uint16
+	SaltLen    int
+	Count      int // count at the paper's full 15.5 M scale
+	Operator   string
+}
+
+// RareSpecimens lists the injected tail. Iteration specimens use an
+// 8-byte salt; salt specimens use 1 iteration (arbitrary but fixed).
+func RareSpecimens() []RareSpecimen {
+	return []RareSpecimen{
+		{Iterations: 500, SaltLen: 8, Count: 12, Operator: "dnsfarm"},
+		{Iterations: 300, SaltLen: 8, Count: 16, Operator: "dnsfarm"},
+		{Iterations: 200, SaltLen: 8, Count: 15, Operator: "dnsfarm"},
+		{Iterations: 1, SaltLen: 160, Count: 9, Operator: "zonemasters"},
+		{Iterations: 1, SaltLen: 64, Count: 60, Operator: "zonemasters"},
+		{Iterations: 1, SaltLen: 48, Count: 101, Operator: "zonemasters"},
+	}
+}
+
+// Params converts a profile to hash parameters with a deterministic
+// salt of the right length (the salt bytes themselves are irrelevant
+// to every analysis; only the length is reported).
+func (p ParamProfile) Params(saltSeed uint64) nsec3.Params {
+	return nsec3.Params{
+		Alg:        1,
+		Iterations: p.Iterations,
+		Salt:       deterministicSalt(p.SaltLen, saltSeed),
+	}
+}
+
+func deterministicSalt(n int, seed uint64) []byte {
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	x := seed | 1
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = byte(x)
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package population
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/dnswire"
+)
+
+// Paper-scale constants (§5.1): the full measurement covered 302 M
+// registered domains, 26.6 M DNSSEC-enabled (8.8 %), and 15.5 M
+// NSEC3-enabled (58.9 % of DNSSEC-enabled).
+const (
+	FullRegistered = 302_000_000
+	FullNSEC3      = 15_500_000
+
+	dnssecRate       = 0.088 // DNSSEC-enabled fraction of registered domains
+	nsec3GivenDNSSEC = 0.589 // NSEC3 fraction of DNSSEC-enabled domains
+	optOutRate       = 0.064 // opt-out fraction of NSEC3-enabled domains (§5.1)
+)
+
+// Config sizes a universe.
+type Config struct {
+	// Registered is the number of registered domains to generate.
+	Registered int
+	// Seed drives all sampling.
+	Seed uint64
+	// RankedSize is the length of the Tranco-style popularity list
+	// generated alongside (0 disables).
+	RankedSize int
+}
+
+// DomainSpec is one synthetic registered domain: everything needed to
+// materialize and later scan it.
+type DomainSpec struct {
+	Name     dnswire.Name
+	TLD      string
+	Operator string // operator Name (Table 2 attribution key)
+	// DNSSEC marks the domain as signed; NSEC3 selects hashed denial
+	// (else plain NSEC).
+	DNSSEC bool
+	NSEC3  bool
+	// Iterations and SaltLen are the NSEC3 parameters.
+	Iterations uint16
+	SaltLen    int
+	OptOut     bool
+	// Rank is the Tranco-style popularity rank (0 = unranked).
+	Rank int
+}
+
+// Universe is a generated population.
+type Universe struct {
+	Config  Config
+	Domains []DomainSpec
+	// Operators indexes the operator table by name.
+	Operators map[string]Operator
+	// TLDs is the simulated TLD registry (always full-size, §5.1).
+	TLDs []TLDSpec
+}
+
+// tldTable spreads domains over TLDs with rough real-world weights.
+// The names must exist in the TLD registry.
+var tldTable = []struct {
+	name   string
+	weight float64
+}{
+	{"com", 0.42}, {"net", 0.08}, {"org", 0.07}, {"de", 0.07},
+	{"nl", 0.05}, {"se", 0.04}, {"ch", 0.04}, {"fr", 0.04},
+	{"ru", 0.03}, {"uk-co", 0.03}, {"io", 0.02}, {"info", 0.04},
+	{"shop", 0.03}, {"online", 0.02}, {"site", 0.02},
+}
+
+// newUniverseRNG seeds the generator's PCG stream.
+func newUniverseRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xD1B54A32D192ED03))
+}
+
+// Generate builds the universe deterministically from cfg.
+func Generate(cfg Config) (*Universe, error) {
+	if cfg.Registered <= 0 {
+		return nil, fmt.Errorf("population: Registered must be positive")
+	}
+	rng := newUniverseRNG(cfg.Seed)
+	ops := Operators()
+	u := &Universe{
+		Config:    cfg,
+		Domains:   make([]DomainSpec, 0, cfg.Registered),
+		Operators: make(map[string]Operator, len(ops)),
+	}
+	for _, op := range ops {
+		u.Operators[op.Name] = op
+	}
+	opCum := operatorCumulative(ops)
+	tldCum := tldCumulative()
+
+	for i := 0; i < cfg.Registered; i++ {
+		spec := DomainSpec{TLD: pickTLD(tldCum, rng.Float64())}
+		label := fmt.Sprintf("d%07d", i)
+		name, err := dnswire.FromLabels(label, spec.TLD)
+		if err != nil {
+			return nil, err
+		}
+		spec.Name = name
+		op := pickOperator(ops, opCum, rng.Float64())
+		spec.Operator = op.Name
+		spec.DNSSEC = rng.Float64() < dnssecRate
+		if spec.DNSSEC {
+			spec.NSEC3 = rng.Float64() < nsec3GivenDNSSEC
+		}
+		if spec.NSEC3 {
+			prof := pickProfile(op.Profiles, rng.Float64())
+			spec.Iterations = prof.Iterations
+			spec.SaltLen = prof.SaltLen
+			spec.OptOut = rng.Float64() < optOutRate
+		}
+		u.Domains = append(u.Domains, spec)
+	}
+	injectRareSpecimens(u, rng)
+	if cfg.RankedSize > 0 {
+		assignRanks(u, rng)
+	}
+	u.TLDs = GenerateTLDs(cfg.Seed)
+	return u, nil
+}
+
+// injectRareSpecimens overwrites a few NSEC3-enabled domains with the
+// fixed extreme-tail settings, scaled from the paper's absolute counts
+// but keeping at least one specimen per row so the observed maxima
+// (500 iterations, 160-byte salt) survive any scale.
+func injectRareSpecimens(u *Universe, rng *rand.Rand) {
+	nsec3Idx := make([]int, 0, 1024)
+	for i := range u.Domains {
+		if u.Domains[i].NSEC3 {
+			nsec3Idx = append(nsec3Idx, i)
+		}
+	}
+	if len(nsec3Idx) == 0 {
+		return
+	}
+	scale := float64(len(nsec3Idx)) / float64(FullNSEC3)
+	pos := 0
+	for _, spec := range RareSpecimens() {
+		n := int(float64(spec.Count)*scale + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n && pos < len(nsec3Idx); i++ {
+			d := &u.Domains[nsec3Idx[pos]]
+			d.Iterations = spec.Iterations
+			d.SaltLen = spec.SaltLen
+			d.Operator = spec.Operator
+			pos++
+		}
+	}
+	_ = rng
+}
+
+// assignRanks builds the Tranco-style list: RankedSize ranked domains
+// whose DNSSEC/NSEC3/parameter distribution matches Figure 2's
+// measurements (6.66 % DNSSEC-enabled; 40.8 % of those NSEC3; of the
+// NSEC3 ones 22.8 % zero-iteration, 23.6 % no-salt, 12.7 % both),
+// uniformly across ranks.
+func assignRanks(u *Universe, rng *rand.Rand) {
+	n := u.Config.RankedSize
+	if n > len(u.Domains) {
+		n = len(u.Domains)
+	}
+	// Ranked-domain conditional parameter cells:
+	//   both compliant            12.7 %
+	//   zero-iter, salted         22.8 − 12.7 = 10.1 %
+	//   iterated, no salt         23.6 − 12.7 = 10.9 %
+	//   iterated, salted          remainder   = 66.3 %
+	perm := rng.Perm(len(u.Domains))[:n]
+	for rank, idx := range perm {
+		d := &u.Domains[idx]
+		d.Rank = rank + 1
+		d.DNSSEC = rng.Float64() < 0.0666
+		d.NSEC3 = false
+		d.Iterations, d.SaltLen = 0, 0
+		if !d.DNSSEC {
+			continue
+		}
+		if rng.Float64() >= 0.408 {
+			continue // NSEC-signed popular domain
+		}
+		d.NSEC3 = true
+		u01 := rng.Float64()
+		var iter uint16
+		var salt int
+		switch {
+		case u01 < 0.127:
+			// fully compliant
+		case u01 < 0.228:
+			salt = 4 + 4*rng.IntN(2)
+		case u01 < 0.337:
+			iter = []uint16{1, 5, 8}[rng.IntN(3)]
+		default:
+			iter = []uint16{1, 1, 5, 8, 10}[rng.IntN(5)]
+			salt = []int{2, 4, 8, 8}[rng.IntN(4)]
+		}
+		d.Iterations, d.SaltLen = iter, salt
+		d.OptOut = rng.Float64() < optOutRate
+	}
+}
+
+func operatorCumulative(ops []Operator) []float64 {
+	total := 0.0
+	for _, op := range ops {
+		total += op.Share
+	}
+	cum := make([]float64, len(ops))
+	acc := 0.0
+	for i, op := range ops {
+		acc += op.Share / total
+		cum[i] = acc
+	}
+	return cum
+}
+
+func pickOperator(ops []Operator, cum []float64, u float64) Operator {
+	for i, c := range cum {
+		if u <= c {
+			return ops[i]
+		}
+	}
+	return ops[len(ops)-1]
+}
+
+func pickProfile(profiles []ParamProfile, u float64) ParamProfile {
+	total := 0.0
+	for _, p := range profiles {
+		total += p.Weight
+	}
+	acc := 0.0
+	for _, p := range profiles {
+		acc += p.Weight / total
+		if u <= acc {
+			return p
+		}
+	}
+	return profiles[len(profiles)-1]
+}
+
+func tldCumulative() []float64 {
+	total := 0.0
+	for _, t := range tldTable {
+		total += t.weight
+	}
+	cum := make([]float64, len(tldTable))
+	acc := 0.0
+	for i, t := range tldTable {
+		acc += t.weight / total
+		cum[i] = acc
+	}
+	return cum
+}
+
+func pickTLD(cum []float64, u float64) string {
+	for i, c := range cum {
+		if u <= c {
+			return tldTable[i].name
+		}
+	}
+	return tldTable[len(tldTable)-1].name
+}
+
+// NSEC3Count returns how many domains in the universe are NSEC3-enabled.
+func (u *Universe) NSEC3Count() int {
+	n := 0
+	for i := range u.Domains {
+		if u.Domains[i].NSEC3 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+package population
+
+import "time"
+
+// This file implements the paper's first future-work direction (§6):
+// "analyze the prevalence of NSEC3 with respect to all the signed
+// domains over time" and "examine NSEC3 parameters used to sign domain
+// names" across the documented parameter migrations:
+//
+//   - September 2020: Identity Digital raises its 447 TLDs from 1 to
+//     100 additional iterations [Woolf 2020].
+//   - ~2021: TransIP migrates from 100 to 0 iterations [Dukhovni 2021];
+//     BIND/PowerDNS/Knot authoritative defaults move to 0 iterations
+//     and no salt at the end of 2021.
+//   - August 2022: RFC 9276 published.
+//   - February 2024: CVE-2023-50868 disclosed; March 2024: the paper's
+//     measurement.
+//   - Mid 2024: Identity Digital drops its TLDs from 100 back to 0, as
+//     the paper's §1 notes ("subsequently reduced to 0").
+
+// Milestone dates in the NSEC3 parameter story.
+var (
+	DateIDRaise     = time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC)  // ID: 1 → 100
+	DateTransIPZero = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)  // TransIP: 100 → 0
+	DateRFC9276     = time.Date(2022, 8, 1, 0, 0, 0, 0, time.UTC)  // BCP published
+	DateCVE         = time.Date(2024, 2, 13, 0, 0, 0, 0, time.UTC) // CVE-2023-50868
+	DatePaperScan   = time.Date(2024, 3, 15, 0, 0, 0, 0, time.UTC) // the measurement
+	DateIDZero      = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)  // ID: 100 → 0
+)
+
+// OperatorsAt returns the operator table as of date, applying the
+// documented migrations. The default Operators() table models the
+// paper's March 2024 snapshot.
+func OperatorsAt(date time.Time) []Operator {
+	ops := Operators()
+	for i := range ops {
+		switch ops[i].Name {
+		case "TransIP":
+			if date.Before(DateTransIPZero) {
+				// Pre-migration: everything at the old 100/8 setting.
+				ops[i].Profiles = []ParamProfile{{100, 8, 1.0}}
+			} else if date.After(DateTransIPZero.AddDate(2, 0, 0)) {
+				// Long after the migration the 0.3 % residue is gone.
+				ops[i].Profiles = []ParamProfile{{0, 8, 1.0}}
+			}
+		case "domainname.shop", "Hostnet":
+			if date.Before(DateRFC9276) {
+				// Before the BCP these operators still salted with a
+				// small iteration count, like the rest of the field.
+				ops[i].Profiles = []ParamProfile{{1, 8, 1.0}}
+			}
+		}
+	}
+	return ops
+}
+
+// TLDIterationsAt returns the Identity Digital cohort's iteration count
+// as of date: 1 before September 2020, 100 until mid-2024, 0 after.
+func TLDIterationsAt(date time.Time) uint16 {
+	switch {
+	case date.Before(DateIDRaise):
+		return 1
+	case date.Before(DateIDZero):
+		return 100
+	default:
+		return 0
+	}
+}
+
+// GenerateAt builds a universe whose operator profiles and TLD registry
+// reflect the state at date. The domain set itself (names, operators,
+// enablement) is held fixed across dates for a given seed, so
+// longitudinal comparisons isolate the parameter migrations.
+func GenerateAt(cfg Config, date time.Time) (*Universe, error) {
+	u, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ops := OperatorsAt(date)
+	opByName := make(map[string]Operator, len(ops))
+	for _, op := range ops {
+		opByName[op.Name] = op
+	}
+	u.Operators = opByName
+	// Re-sample parameters for NSEC3 domains whose operator's profile
+	// set changed, deterministically from the domain index.
+	for i := range u.Domains {
+		d := &u.Domains[i]
+		if !d.NSEC3 {
+			continue
+		}
+		op, ok := opByName[d.Operator]
+		if !ok {
+			continue
+		}
+		u01 := float64(splitmix(uint64(i)^cfg.Seed)%1_000_000) / 1_000_000
+		prof := pickProfile(op.Profiles, u01)
+		d.Iterations = prof.Iterations
+		d.SaltLen = prof.SaltLen
+	}
+	// Re-inject the fixed rare tail (it exists in every era).
+	rng := newUniverseRNG(cfg.Seed)
+	injectRareSpecimens(u, rng)
+	// TLD registry: swap the ID cohort's iterations for the era.
+	iters := TLDIterationsAt(date)
+	for i := range u.TLDs {
+		if u.TLDs[i].Registry == IdentityDigitalName {
+			u.TLDs[i].Iterations = iters
+		}
+	}
+	return u, nil
+}
+
+// ZeroIterShareAt computes the Item 2 compliance share of NSEC3-enabled
+// domains in a universe — the longitudinal metric of the timeline
+// experiment.
+func ZeroIterShareAt(u *Universe) float64 {
+	nsec3, zero := 0, 0
+	for i := range u.Domains {
+		if !u.Domains[i].NSEC3 {
+			continue
+		}
+		nsec3++
+		if u.Domains[i].Iterations == 0 {
+			zero++
+		}
+	}
+	if nsec3 == 0 {
+		return 0
+	}
+	return 100 * float64(zero) / float64(nsec3)
+}
+
+// splitmix is SplitMix64, used for per-domain deterministic re-sampling.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
+}

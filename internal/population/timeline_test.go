@@ -1,0 +1,87 @@
+package population
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTLDIterationsAtMilestones(t *testing.T) {
+	cases := []struct {
+		date time.Time
+		want uint16
+	}{
+		{DateIDRaise.AddDate(0, -1, 0), 1},
+		{DateIDRaise.AddDate(0, 1, 0), 100},
+		{DatePaperScan, 100},
+		{DateIDZero.AddDate(0, 1, 0), 0},
+	}
+	for _, c := range cases {
+		if got := TLDIterationsAt(c.date); got != c.want {
+			t.Errorf("TLDIterationsAt(%s) = %d, want %d", c.date.Format("2006-01"), got, c.want)
+		}
+	}
+}
+
+func TestOperatorsAtTransIPMigration(t *testing.T) {
+	pre := OperatorsAt(DateTransIPZero.AddDate(0, -6, 0))
+	post := OperatorsAt(DateTransIPZero.AddDate(3, 0, 0))
+	find := func(ops []Operator, name string) Operator {
+		for _, op := range ops {
+			if op.Name == name {
+				return op
+			}
+		}
+		t.Fatalf("operator %s missing", name)
+		return Operator{}
+	}
+	if p := find(pre, "TransIP").Profiles; len(p) != 1 || p[0].Iterations != 100 {
+		t.Fatalf("pre-migration TransIP profiles %v", p)
+	}
+	if p := find(post, "TransIP").Profiles; len(p) != 1 || p[0].Iterations != 0 {
+		t.Fatalf("post-migration TransIP profiles %v", p)
+	}
+}
+
+func TestGenerateAtComplianceGrowsOverTime(t *testing.T) {
+	cfg := Config{Registered: 40000, Seed: 3}
+	shares := make([]float64, 0, 3)
+	for _, date := range []time.Time{
+		DateIDRaise.AddDate(0, -3, 0),
+		DateTransIPZero.AddDate(0, 6, 0),
+		DatePaperScan,
+	} {
+		u, err := GenerateAt(cfg, date)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares = append(shares, ZeroIterShareAt(u))
+	}
+	// Compliance must be monotone non-decreasing across the
+	// migrations: pre-2020 < post-TransIP ≤ 2024.
+	if !(shares[0] < shares[1] && shares[1] <= shares[2]+0.5) {
+		t.Fatalf("shares not improving: %v", shares)
+	}
+	// The March 2024 share sits near the paper's 12.2 %.
+	if shares[2] < 9 || shares[2] > 16 {
+		t.Fatalf("2024 share %.1f %%, paper 12.2 %%", shares[2])
+	}
+}
+
+func TestGenerateAtKeepsDomainSetFixed(t *testing.T) {
+	cfg := Config{Registered: 3000, Seed: 4}
+	a, err := GenerateAt(cfg, DateIDRaise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateAt(cfg, DatePaperScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Domains {
+		if a.Domains[i].Name != b.Domains[i].Name ||
+			a.Domains[i].Operator != b.Domains[i].Operator ||
+			a.Domains[i].NSEC3 != b.Domains[i].NSEC3 {
+			t.Fatalf("domain set drifted at %d: %+v vs %+v", i, a.Domains[i], b.Domains[i])
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package population
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Paper-scale TLD constants (§5.1): 1,449 delegated TLDs, 1,354
+// DNSSEC-enabled, 1,302 NSEC3-enabled; 688 with zero additional
+// iterations and 447 at 100 (all Identity Digital); salts: 672 none,
+// 558 of 8 bytes, 7 of 10 bytes; 85.4 % opt-out; 84.9 % with openly
+// available zone data.
+const (
+	TotalTLDs        = 1449
+	DNSSECTLDs       = 1354
+	NSEC3TLDs        = 1302
+	ZeroIterTLDs     = 688
+	IdentityDigital  = 447 // TLDs at 100 iterations in March 2024
+	saltNoneTLDs     = 672
+	salt8TLDs        = 558
+	salt10TLDs       = 7
+	optOutTLDs       = 1112 // 85.4 % of 1302
+	openZoneDataTLDs = 1105 // 84.9 % of 1302
+)
+
+// IdentityDigitalName is the registry services provider operating the
+// 447 TLDs that used 100 additional iterations until 2024.
+const IdentityDigitalName = "Identity Digital"
+
+// TLDSpec is one top-level domain's configuration.
+type TLDSpec struct {
+	Name       string
+	DNSSEC     bool
+	NSEC3      bool // vs NSEC when DNSSEC
+	Iterations uint16
+	SaltLen    int
+	OptOut     bool
+	// Registry is the registry services provider ("Identity Digital"
+	// for the 100-iteration cohort).
+	Registry string
+	// OpenZoneData: zone content available via CZDS/AXFR (relevant to
+	// the paper's Item 1 discussion).
+	OpenZoneData bool
+}
+
+// identityDigitalNamed are tldTable members modeled as Identity
+// Digital-operated, so registered domains accumulate under ID TLDs
+// (the "at least 12.6 M domains" estimate of §5.1).
+var identityDigitalNamed = map[string]bool{"shop": true, "online": true, "site": true}
+
+// GenerateTLDs builds the full 1,449-entry TLD registry. The named
+// TLDs of tldTable come first (they host the generated domains); the
+// rest are synthetic. Bucket counts follow §5.1 exactly.
+func GenerateTLDs(seed uint64) []TLDSpec {
+	rng := rand.New(rand.NewPCG(seed^0xBEEF, seed|1))
+	specs := make([]TLDSpec, 0, TotalTLDs)
+	for _, t := range tldTable {
+		specs = append(specs, TLDSpec{Name: t.name})
+	}
+	for i := len(specs); i < TotalTLDs; i++ {
+		specs = append(specs, TLDSpec{Name: fmt.Sprintf("xn--synth%04d", i)})
+	}
+
+	// Tag the Identity Digital cohort: the named ID TLDs plus enough
+	// synthetic ones to reach 447.
+	idLeft := IdentityDigital
+	for i := range specs {
+		if identityDigitalNamed[specs[i].Name] {
+			specs[i].Registry = IdentityDigitalName
+			idLeft--
+		}
+	}
+	for i := len(tldTable); i < len(specs) && idLeft > 0; i++ {
+		if specs[i].Registry == "" {
+			specs[i].Registry = IdentityDigitalName
+			idLeft--
+		}
+	}
+
+	// Every ID TLD: DNSSEC + NSEC3, 100 iterations, 8-byte salt,
+	// opt-out (they are large delegation zones).
+	salt8Left := salt8TLDs
+	for i := range specs {
+		if specs[i].Registry == IdentityDigitalName {
+			specs[i].DNSSEC, specs[i].NSEC3 = true, true
+			specs[i].Iterations = 100
+			specs[i].SaltLen = 8
+			specs[i].OptOut = true
+			salt8Left--
+		}
+	}
+
+	// Remaining NSEC3 TLDs: 688 zero-iteration + 167 small values.
+	nsec3Left := NSEC3TLDs - IdentityDigital
+	zeroLeft := ZeroIterTLDs
+	saltNoneLeft := saltNoneTLDs
+	salt10Left := salt10TLDs
+	var nonIDNSEC3 []int
+	for i := range specs {
+		if specs[i].Registry == IdentityDigitalName {
+			continue
+		}
+		if nsec3Left == 0 {
+			break
+		}
+		specs[i].DNSSEC, specs[i].NSEC3 = true, true
+		nonIDNSEC3 = append(nonIDNSEC3, i)
+		nsec3Left--
+	}
+	for _, i := range nonIDNSEC3 {
+		s := &specs[i]
+		if zeroLeft > 0 {
+			s.Iterations = 0
+			zeroLeft--
+		} else {
+			s.Iterations = []uint16{1, 2, 5, 10}[rng.IntN(4)]
+		}
+		switch {
+		case s.Iterations == 0 && saltNoneLeft > 0:
+			s.SaltLen = 0
+			saltNoneLeft--
+		case salt8Left > 0:
+			s.SaltLen = 8
+			salt8Left--
+		case salt10Left > 0:
+			s.SaltLen = 10
+			salt10Left--
+		default:
+			s.SaltLen = 4
+		}
+	}
+
+	// NSEC TLDs (DNSSEC without NSEC3) and unsigned TLDs.
+	nsecLeft := DNSSECTLDs - NSEC3TLDs
+	for i := range specs {
+		if specs[i].DNSSEC {
+			continue
+		}
+		if nsecLeft > 0 {
+			specs[i].DNSSEC = true
+			nsecLeft--
+		}
+	}
+
+	// Opt-out and open zone data across the NSEC3 TLDs.
+	optLeft := optOutTLDs
+	openLeft := openZoneDataTLDs
+	for i := range specs {
+		if !specs[i].NSEC3 {
+			continue
+		}
+		if specs[i].OptOut {
+			optLeft-- // ID cohort already opted out
+		}
+	}
+	for i := range specs {
+		if !specs[i].NSEC3 || specs[i].OptOut {
+			continue
+		}
+		if optLeft > 0 {
+			specs[i].OptOut = true
+			optLeft--
+		}
+	}
+	for i := range specs {
+		if !specs[i].NSEC3 {
+			continue
+		}
+		if openLeft > 0 {
+			specs[i].OpenZoneData = true
+			openLeft--
+		}
+	}
+	return specs
+}
+
+// TLDAggregate summarizes the registry the way §5.1 reports it.
+type TLDAggregate struct {
+	Total, DNSSEC, NSEC3      int
+	ZeroIterations, AtHundred int
+	SaltNone, Salt8, Salt10   int
+	OptOut, OpenZoneData      int
+	IdentityDigitalTLDs       int
+}
+
+// AggregateTLDs computes the registry summary.
+func AggregateTLDs(specs []TLDSpec) TLDAggregate {
+	var a TLDAggregate
+	for _, s := range specs {
+		a.Total++
+		if s.DNSSEC {
+			a.DNSSEC++
+		}
+		if !s.NSEC3 {
+			continue
+		}
+		a.NSEC3++
+		switch s.Iterations {
+		case 0:
+			a.ZeroIterations++
+		case 100:
+			a.AtHundred++
+		}
+		switch s.SaltLen {
+		case 0:
+			a.SaltNone++
+		case 8:
+			a.Salt8++
+		case 10:
+			a.Salt10++
+		}
+		if s.OptOut {
+			a.OptOut++
+		}
+		if s.OpenZoneData {
+			a.OpenZoneData++
+		}
+		if s.Registry == IdentityDigitalName {
+			a.IdentityDigitalTLDs++
+		}
+	}
+	return a
+}

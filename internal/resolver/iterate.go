@@ -1,0 +1,286 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"repro/internal/dnswire"
+)
+
+// Iteration limits.
+const (
+	maxReferrals = 32
+	maxDepth     = 12
+	maxCNAME     = 8
+)
+
+// Errors from iteration.
+var (
+	ErrNoServers = errors.New("resolver: no reachable name servers")
+	ErrLoop      = errors.New("resolver: resolution depth exceeded")
+	ErrLame      = errors.New("resolver: lame delegation")
+)
+
+// authResponse is the raw outcome of iterating to the authoritative
+// zone for a query.
+type authResponse struct {
+	msg  *dnswire.Message
+	apex dnswire.Name // deepest delegation followed (zone context)
+}
+
+// iterate walks the delegation tree from the roots to the zone
+// authoritative for qname and returns its response.
+func (r *Resolver) iterate(ctx context.Context, qname dnswire.Name, qtype dnswire.Type, depth int) (*authResponse, error) {
+	if depth > maxDepth {
+		return nil, ErrLoop
+	}
+	// DS queries keep the full-name walk: they are answered by the
+	// parent, which a minimized NS probe would skip past.
+	if r.cfg.Policy.QNameMinimization && qtype != dnswire.TypeDS {
+		return r.iterateMinimized(ctx, qname, qtype, depth)
+	}
+	servers := append([]netip.AddrPort(nil), r.cfg.Roots...)
+	apex := dnswire.Root
+	for hop := 0; hop < maxReferrals; hop++ {
+		msg, err := r.queryAny(ctx, servers, qname, qtype)
+		if err != nil {
+			return nil, err
+		}
+		if msg.Header.RCode != dnswire.RCodeNoError && msg.Header.RCode != dnswire.RCodeNXDomain {
+			return nil, fmt.Errorf("%w: %s from zone %s", ErrLame, msg.Header.RCode, apex)
+		}
+		if isReferral(msg) {
+			cut, nextServers, err := r.followReferral(ctx, msg, apex, depth)
+			if err != nil {
+				return nil, err
+			}
+			apex = cut
+			servers = nextServers
+			continue
+		}
+		return &authResponse{msg: msg, apex: apex}, nil
+	}
+	return nil, ErrLoop
+}
+
+// isReferral reports whether msg is a delegation: non-authoritative,
+// empty answer, NS records in authority.
+func isReferral(msg *dnswire.Message) bool {
+	if msg.Header.Authoritative || len(msg.Answers) > 0 {
+		return false
+	}
+	for _, rr := range msg.Authority {
+		if rr.Type() == dnswire.TypeNS {
+			return true
+		}
+	}
+	return false
+}
+
+// followReferral extracts the cut and next server addresses, resolving
+// glue-less NS hosts recursively.
+func (r *Resolver) followReferral(ctx context.Context, msg *dnswire.Message, parent dnswire.Name, depth int) (dnswire.Name, []netip.AddrPort, error) {
+	var cut dnswire.Name
+	var hosts []dnswire.Name
+	for _, rr := range msg.Authority {
+		if ns, ok := rr.Data.(dnswire.NS); ok {
+			cut = rr.Name
+			hosts = append(hosts, ns.Host)
+		}
+	}
+	if cut == "" {
+		return "", nil, ErrLame
+	}
+	if !cut.IsSubdomainOf(parent) || cut == parent {
+		return "", nil, fmt.Errorf("%w: referral %s not below %s", ErrLame, cut, parent)
+	}
+	var addrs []netip.AddrPort
+	for _, rr := range msg.Additional {
+		switch d := rr.Data.(type) {
+		case dnswire.A:
+			addrs = append(addrs, netip.AddrPortFrom(d.Addr, 53))
+		case dnswire.AAAA:
+			addrs = append(addrs, netip.AddrPortFrom(d.Addr, 53))
+		}
+	}
+	if len(addrs) == 0 {
+		// No glue: resolve the NS hosts ourselves.
+		for _, h := range hosts {
+			res, _, err := r.resolveUncached(ctx, h, dnswire.TypeA, depth+1, false)
+			if err != nil {
+				continue
+			}
+			for _, rr := range res.Answers {
+				if a, ok := rr.Data.(dnswire.A); ok {
+					addrs = append(addrs, netip.AddrPortFrom(a.Addr, 53))
+				}
+			}
+			if len(addrs) > 0 {
+				break
+			}
+		}
+	}
+	if len(addrs) == 0 {
+		return "", nil, fmt.Errorf("%w: no addresses for %s NS", ErrNoServers, cut)
+	}
+	return cut, addrs, nil
+}
+
+// queryAny tries servers in order until one responds.
+func (r *Resolver) queryAny(ctx context.Context, servers []netip.AddrPort, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+	dnssecOK := r.validating()
+	var lastErr error
+	for i, s := range servers {
+		q := dnswire.NewQuery(uint16(0x8000|i<<8)^uint16(qnameHash(qname)), qname, qtype, dnssecOK)
+		q.Header.RecursionDesired = false
+		resp, err := r.exchange(ctx, s, q)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// qnameHash derives a deterministic query ID component so simulated
+// traces are reproducible.
+func qnameHash(n dnswire.Name) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(n); i++ {
+		h ^= uint32(n[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// validating reports whether the resolver performs DNSSEC validation.
+func (r *Resolver) validating() bool {
+	return r.cfg.Policy.Validate && len(r.cfg.TrustAnchor) > 0
+}
+
+// resolveUncached is the full pipeline for one query: iterate,
+// validate, post-process (CNAME chase), and package the client result
+// with its cache TTL.
+func (r *Resolver) resolveUncached(ctx context.Context, qname dnswire.Name, qtype dnswire.Type, depth int, cd bool) (*Result, uint32, error) {
+	if depth > maxDepth {
+		return nil, 0, ErrLoop
+	}
+	// RFC 8198: synthesize the NXDOMAIN from cached validated NSEC3
+	// spans when possible, skipping the network entirely.
+	if !cd {
+		if res, ok := r.tryAggressive(qname); ok {
+			return res, 30, nil
+		}
+	}
+	auth, err := r.iterate(ctx, qname, qtype, depth)
+	if err != nil {
+		// Unreachable/lame: SERVFAIL, cached briefly.
+		return r.servfail(false), 30, nil
+	}
+	msg := auth.msg
+
+	status := StatusIndeterminate
+	limitHit := false
+	if r.validating() && !cd {
+		status, limitHit, err = r.validateResponse(ctx, qname, qtype, msg, auth.apex, depth)
+		if err != nil || status == StatusBogus {
+			res := r.servfail(limitHit)
+			return res, 30, nil
+		}
+	}
+
+	res := &Result{
+		RCode:  msg.Header.RCode,
+		Status: status,
+		AD:     status == StatusSecure,
+	}
+	if r.cfg.Policy.NoNegativeAD && msg.Header.RCode == dnswire.RCodeNXDomain {
+		res.AD = false
+	}
+	if status == StatusSecure && msg.Header.RCode == dnswire.RCodeNXDomain {
+		r.learnAggressive(msg)
+	}
+	if limitHit && r.cfg.Policy.EDE != 0 {
+		// Item 10: insecure responses caused by the limit carry EDE.
+		res.EDE = append(res.EDE, dnswire.EDE{Code: r.cfg.Policy.EDE, Text: r.cfg.Policy.EDEText})
+	}
+	res.Answers = append(res.Answers, msg.Answers...)
+	res.Authority = append(res.Authority, msg.Authority...)
+
+	// CNAME chase: if the answer is an alias and the query wanted
+	// something else, continue at the target.
+	if cname, ok := answerCNAME(msg, qname); ok && qtype != dnswire.TypeCNAME && !hasType(msg.Answers, qname, qtype) {
+		if depth >= maxCNAME {
+			return r.servfail(false), 30, nil
+		}
+		chained, _, err := r.resolveUncached(ctx, cname, qtype, depth+1, cd)
+		if err != nil {
+			return r.servfail(false), 30, nil
+		}
+		res.RCode = chained.RCode
+		res.Answers = append(res.Answers, chained.Answers...)
+		res.Authority = chained.Authority
+		if chained.Status == StatusBogus || chained.RCode == dnswire.RCodeServFail {
+			return r.servfail(false), 30, nil
+		}
+		// The chain is only as secure as its weakest link.
+		if chained.Status != StatusSecure {
+			res.Status = chained.Status
+			res.AD = false
+		}
+		res.EDE = append(res.EDE, chained.EDE...)
+	}
+
+	return res, r.ttlFor(msg), nil
+}
+
+func answerCNAME(msg *dnswire.Message, qname dnswire.Name) (dnswire.Name, bool) {
+	for _, rr := range msg.Answers {
+		if rr.Name == qname {
+			if c, ok := rr.Data.(dnswire.CNAME); ok {
+				return c.Target, true
+			}
+		}
+	}
+	return "", false
+}
+
+func hasType(rrs []dnswire.RR, owner dnswire.Name, t dnswire.Type) bool {
+	for _, rr := range rrs {
+		if rr.Name == owner && rr.Type() == t {
+			return true
+		}
+	}
+	return false
+}
+
+// ttlFor derives the cache TTL for a response: minimum answer TTL, or
+// the SOA minimum for negatives, floored at 1 and capped at a day.
+func (r *Resolver) ttlFor(msg *dnswire.Message) uint32 {
+	var ttl uint32 = 86400
+	found := false
+	for _, rr := range msg.Answers {
+		if rr.TTL < ttl {
+			ttl = rr.TTL
+		}
+		found = true
+	}
+	if !found {
+		for _, rr := range msg.Authority {
+			if soa, ok := rr.Data.(dnswire.SOA); ok {
+				ttl = min(rr.TTL, soa.Minimum)
+				found = true
+			}
+		}
+	}
+	if !found || ttl == 0 {
+		return 1
+	}
+	return ttl
+}

@@ -1,0 +1,466 @@
+package resolver
+
+import (
+	"context"
+
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+	"repro/internal/nsec3"
+)
+
+// This file is the validation engine: chain-of-trust establishment
+// (zoneKeys), RRset signature checking, and denial-of-existence
+// verification with the NSEC3 iteration policy applied — the code path
+// whose behaviour Figure 3 of the paper measures across resolvers.
+
+// validateResponse classifies a response from zone fallbackApex.
+// limitHit reports that the NSEC3 iteration policy (not a crypto
+// failure) determined the outcome, so the caller can attach EDE.
+func (r *Resolver) validateResponse(ctx context.Context, qname dnswire.Name, qtype dnswire.Type, msg *dnswire.Message, fallbackApex dnswire.Name, depth int) (SecurityStatus, bool, error) {
+	apex := responseZone(msg, fallbackApex)
+	zt, err := r.zoneKeys(ctx, apex, depth)
+	if err != nil {
+		return StatusBogus, false, nil
+	}
+	switch zt.status {
+	case StatusInsecure:
+		return StatusInsecure, false, nil
+	case StatusBogus:
+		return StatusBogus, false, nil
+	}
+
+	if len(msg.Answers) > 0 {
+		return r.validatePositive(qname, msg, apex, zt)
+	}
+	return r.validateNegative(qname, qtype, msg, apex, zt)
+}
+
+// responseZone infers the answering zone: the SOA owner for negative
+// answers, the RRSIG signer for positive ones, else the iteration apex.
+func responseZone(msg *dnswire.Message, fallback dnswire.Name) dnswire.Name {
+	for _, rr := range msg.Answers {
+		if sig, ok := rr.Data.(dnswire.RRSIG); ok {
+			return sig.SignerName
+		}
+	}
+	for _, rr := range msg.Authority {
+		if rr.Type() == dnswire.TypeSOA {
+			return rr.Name
+		}
+	}
+	return fallback
+}
+
+// validatePositive checks every answer RRset signature; wildcard
+// expansions additionally need an NSEC3 proof, where the iteration
+// policy applies.
+func (r *Resolver) validatePositive(qname dnswire.Name, msg *dnswire.Message, apex dnswire.Name, zt *zoneTrust) (SecurityStatus, bool, error) {
+	groups := groupRRsets(msg.Answers)
+	if len(groups) == 0 {
+		return StatusBogus, false, nil
+	}
+	wildcard := false
+	var wildcardLabels int
+	for _, g := range groups {
+		sigs := g.sigs
+		if len(sigs) == 0 {
+			return StatusBogus, false, nil
+		}
+		set, err := dnssec.NewRRset(g.rrs)
+		if err != nil {
+			return StatusBogus, false, nil
+		}
+		if !r.verifyAnySig(set, sigs, apex, zt.keys) {
+			return StatusBogus, false, nil
+		}
+		for _, sigRR := range sigs {
+			sig := sigRR.Data.(dnswire.RRSIG)
+			if int(sig.Labels) < set.Name.CountLabels() {
+				wildcard = true
+				wildcardLabels = int(sig.Labels)
+			}
+		}
+	}
+	if !wildcard {
+		return StatusSecure, false, nil
+	}
+	// Wildcard answer: the NSEC3 (or NSEC) proof that qname itself does
+	// not exist must accompany it (RFC 5155 §8.8). The iteration policy
+	// applies to this proof.
+	set3, err := nsec3.ExtractResponseSet(msg.Authority)
+	if err == nil {
+		verdict, limitHit := r.applyIterationPolicy(int(set3.Params.Iterations))
+		switch verdict {
+		case verdictServfail:
+			return StatusBogus, true, nil
+		case verdictInsecure:
+			if r.cfg.Policy.VerifyInsecureNSEC3 && !r.verifyNSEC3Sigs(msg, apex, zt) {
+				return StatusBogus, false, nil
+			}
+			return StatusInsecure, limitHit, nil
+		}
+		if !r.verifyNSEC3Sigs(msg, apex, zt) {
+			return StatusBogus, false, nil
+		}
+		if err := set3.VerifyWildcardAnswer(qname, wildcardLabels); err != nil {
+			return StatusBogus, false, nil
+		}
+		return StatusSecure, false, nil
+	}
+	// NSEC fallback.
+	if r.verifyNSECDenialOfName(qname, msg, apex, zt) {
+		return StatusSecure, false, nil
+	}
+	return StatusBogus, false, nil
+}
+
+// validateNegative checks NXDOMAIN and NODATA responses: the SOA RRSIG
+// plus the denial proof, with the NSEC3 iteration policy applied before
+// (or after, per Item 7) signature checking.
+func (r *Resolver) validateNegative(qname dnswire.Name, qtype dnswire.Type, msg *dnswire.Message, apex dnswire.Name, zt *zoneTrust) (SecurityStatus, bool, error) {
+	// The SOA RRset must be signed.
+	if !r.verifySection(msg.Authority, dnswire.TypeSOA, apex, zt) {
+		return StatusBogus, false, nil
+	}
+
+	set3, err := nsec3.ExtractResponseSet(msg.Authority)
+	if err != nil {
+		// No NSEC3 records: try NSEC, else the zone failed to prove
+		// the denial.
+		if r.verifyNSECDenialOfName(qname, msg, apex, zt) {
+			return StatusSecure, false, nil
+		}
+		return StatusBogus, false, nil
+	}
+
+	verdict, limitHit := r.applyIterationPolicy(int(set3.Params.Iterations))
+	switch verdict {
+	case verdictServfail:
+		// Item 8: SERVFAIL above the limit.
+		return StatusBogus, true, nil
+	case verdictInsecure:
+		// Item 6: insecure above the limit. Item 7: a compliant
+		// validator still authenticates the NSEC3 records before
+		// trusting their iteration field.
+		if r.cfg.Policy.VerifyInsecureNSEC3 && !r.verifyNSEC3Sigs(msg, apex, zt) {
+			return StatusBogus, false, nil
+		}
+		return StatusInsecure, limitHit, nil
+	}
+
+	// Within limits: full validation.
+	if !r.verifyNSEC3Sigs(msg, apex, zt) {
+		return StatusBogus, false, nil
+	}
+	if msg.Header.RCode == dnswire.RCodeNXDomain {
+		if _, _, err := set3.VerifyNXDOMAIN(qname); err != nil {
+			return StatusBogus, false, nil
+		}
+	} else {
+		if err := set3.VerifyNODATA(qname, qtype); err != nil {
+			// An insecure delegation excluded from an opt-out chain
+			// answers DS queries with the RFC 5155 §8.6 proof: closest
+			// provable encloser matched, next closer covered by an
+			// Opt-Out span. That proves an unsigned delegation —
+			// insecure, not bogus.
+			if _, err2 := set3.VerifyNoDS(qname); err2 == nil {
+				return StatusInsecure, false, nil
+			}
+			return StatusBogus, false, nil
+		}
+	}
+	return StatusSecure, false, nil
+}
+
+// policyVerdict is the outcome of the iteration limit check.
+type policyVerdict int
+
+const (
+	verdictValidate policyVerdict = iota // within limits: validate fully
+	verdictInsecure                      // Item 6 region
+	verdictServfail                      // Item 8 region
+)
+
+// applyIterationPolicy maps an NSEC3 iteration count to the resolver's
+// configured behaviour. limitHit is true when a limit (rather than the
+// default validate path) decided.
+func (r *Resolver) applyIterationPolicy(iterations int) (policyVerdict, bool) {
+	p := r.cfg.Policy
+	if p.ServfailLimit != NoLimit && iterations > p.ServfailLimit {
+		return verdictServfail, true
+	}
+	if p.InsecureLimit != NoLimit && iterations > p.InsecureLimit {
+		return verdictInsecure, true
+	}
+	// RFC 5155 §10.3 always applies: beyond 2500 iterations even an
+	// unlimited resolver treats the proof as insecure.
+	if iterations > nsec3.RFC5155MaxIterations {
+		return verdictInsecure, false
+	}
+	return verdictValidate, false
+}
+
+// rrGroup is an RRset with its covering signatures.
+type rrGroup struct {
+	rrs  []dnswire.RR
+	sigs []dnswire.RR
+}
+
+// groupRRsets splits a section into RRsets and attaches RRSIGs.
+func groupRRsets(rrs []dnswire.RR) []rrGroup {
+	type key struct {
+		name dnswire.Name
+		t    dnswire.Type
+	}
+	idx := make(map[key]int)
+	var out []rrGroup
+	for _, rr := range rrs {
+		if sig, ok := rr.Data.(dnswire.RRSIG); ok {
+			k := key{rr.Name, sig.TypeCovered}
+			if i, ok := idx[k]; ok {
+				out[i].sigs = append(out[i].sigs, rr)
+			} else {
+				idx[k] = len(out)
+				out = append(out, rrGroup{sigs: []dnswire.RR{rr}})
+			}
+			continue
+		}
+		k := key{rr.Name, rr.Type()}
+		if i, ok := idx[k]; ok {
+			out[i].rrs = append(out[i].rrs, rr)
+		} else {
+			idx[k] = len(out)
+			out = append(out, rrGroup{rrs: []dnswire.RR{rr}})
+		}
+	}
+	// Drop signature-only groups (their data lives elsewhere or is absent).
+	kept := out[:0]
+	for _, g := range out {
+		if len(g.rrs) > 0 {
+			kept = append(kept, g)
+		}
+	}
+	return kept
+}
+
+// verifyAnySig reports whether any of sigs validates set with any key.
+func (r *Resolver) verifyAnySig(set dnssec.RRset, sigs []dnswire.RR, apex dnswire.Name, keys []dnswire.DNSKEY) bool {
+	now := r.cfg.Now()
+	for _, sigRR := range sigs {
+		sig, ok := sigRR.Data.(dnswire.RRSIG)
+		if !ok {
+			continue
+		}
+		for _, key := range keys {
+			if dnssec.VerifyWithRRSIG(set, sig, key, apex, now) == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// verifySection verifies the RRset of type t (owner = any) within rrs.
+func (r *Resolver) verifySection(rrs []dnswire.RR, t dnswire.Type, apex dnswire.Name, zt *zoneTrust) bool {
+	for _, g := range groupRRsets(rrs) {
+		if g.rrs[0].Type() != t {
+			continue
+		}
+		set, err := dnssec.NewRRset(g.rrs)
+		if err != nil {
+			return false
+		}
+		if !r.verifyAnySig(set, g.sigs, apex, zt.keys) {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// verifyNSEC3Sigs verifies the RRSIG over every NSEC3 RRset in the
+// authority section — the Item 7 integrity check over the iteration
+// field itself.
+func (r *Resolver) verifyNSEC3Sigs(msg *dnswire.Message, apex dnswire.Name, zt *zoneTrust) bool {
+	found := false
+	for _, g := range groupRRsets(msg.Authority) {
+		if g.rrs[0].Type() != dnswire.TypeNSEC3 {
+			continue
+		}
+		found = true
+		set, err := dnssec.NewRRset(g.rrs)
+		if err != nil {
+			return false
+		}
+		if !r.verifyAnySig(set, g.sigs, apex, zt.keys) {
+			return false
+		}
+	}
+	return found
+}
+
+// verifyNSECDenialOfName validates a plain-NSEC denial: signatures over
+// the NSEC records plus a covering or matching span for qname.
+func (r *Resolver) verifyNSECDenialOfName(qname dnswire.Name, msg *dnswire.Message, apex dnswire.Name, zt *zoneTrust) bool {
+	proven := false
+	for _, g := range groupRRsets(msg.Authority) {
+		if g.rrs[0].Type() != dnswire.TypeNSEC {
+			continue
+		}
+		set, err := dnssec.NewRRset(g.rrs)
+		if err != nil {
+			return false
+		}
+		if !r.verifyAnySig(set, g.sigs, apex, zt.keys) {
+			return false
+		}
+		for _, rr := range g.rrs {
+			nsec := rr.Data.(dnswire.NSEC)
+			if nsecCoversOrMatches(rr.Name, nsec.NextName, qname) {
+				proven = true
+			}
+		}
+	}
+	return proven
+}
+
+// nsecCoversOrMatches implements the canonical-order span check for
+// NSEC records (including the wrap at the end of the chain).
+func nsecCoversOrMatches(owner, next, q dnswire.Name) bool {
+	if owner == q {
+		return true
+	}
+	oc := dnswire.CanonicalCompare(owner, q)
+	qn := dnswire.CanonicalCompare(q, next)
+	if dnswire.CanonicalCompare(owner, next) < 0 {
+		return oc < 0 && qn < 0
+	}
+	return oc < 0 || qn < 0
+}
+
+// zoneKeys establishes (and caches) the chain of trust for a zone apex:
+// Secure with its validated DNSKEYs, Insecure below an unsigned
+// delegation, or Bogus.
+func (r *Resolver) zoneKeys(ctx context.Context, apex dnswire.Name, depth int) (*zoneTrust, error) {
+	now := r.cfg.Now()
+	r.mu.Lock()
+	if zt, ok := r.zoneCache[apex]; ok && serialLTE(now, zt.expiry) {
+		r.mu.Unlock()
+		return zt, nil
+	}
+	r.mu.Unlock()
+	if depth > maxDepth {
+		return nil, ErrLoop
+	}
+
+	zt, err := r.establishTrust(ctx, apex, depth)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if len(r.zoneCache) >= r.cfg.MaxCacheEntries {
+		r.zoneCache = make(map[dnswire.Name]*zoneTrust)
+	}
+	r.zoneCache[apex] = zt
+	r.mu.Unlock()
+	return zt, nil
+}
+
+func (r *Resolver) establishTrust(ctx context.Context, apex dnswire.Name, depth int) (*zoneTrust, error) {
+	now := r.cfg.Now()
+	const trustTTL = 3600
+
+	// Obtain the DS set authenticating this zone's KSK.
+	var dsSet []dnswire.DS
+	if apex.IsRoot() {
+		dsSet = r.cfg.TrustAnchor
+	} else {
+		res, _, err := r.resolveDSInternal(ctx, apex, depth)
+		if err != nil {
+			return &zoneTrust{status: StatusBogus, expiry: now + 30}, nil
+		}
+		switch {
+		case res.RCode == dnswire.RCodeServFail || res.Status == StatusBogus:
+			return &zoneTrust{status: StatusBogus, expiry: now + 30}, nil
+		case res.Status == StatusInsecure:
+			// The parent zone itself is insecure (e.g. its own denial
+			// exceeded the iteration limit): everything below is too.
+			return &zoneTrust{status: StatusInsecure, expiry: now + trustTTL}, nil
+		}
+		for _, rr := range res.Answers {
+			if ds, ok := rr.Data.(dnswire.DS); ok && rr.Name == apex {
+				dsSet = append(dsSet, ds)
+			}
+		}
+		if len(dsSet) == 0 {
+			// Authenticated denial of DS: unsigned delegation.
+			return &zoneTrust{status: StatusInsecure, expiry: now + trustTTL}, nil
+		}
+	}
+
+	// Fetch and self-validate the DNSKEY RRset.
+	auth, err := r.iterate(ctx, apex, dnswire.TypeDNSKEY, depth+1)
+	if err != nil {
+		return &zoneTrust{status: StatusBogus, expiry: now + 30}, nil
+	}
+	var keyRRs []dnswire.RR
+	var sigRRs []dnswire.RR
+	for _, rr := range auth.msg.Answers {
+		switch d := rr.Data.(type) {
+		case dnswire.DNSKEY:
+			if rr.Name == apex {
+				keyRRs = append(keyRRs, rr)
+			}
+			_ = d
+		case dnswire.RRSIG:
+			if rr.Name == apex && d.TypeCovered == dnswire.TypeDNSKEY {
+				sigRRs = append(sigRRs, rr)
+			}
+		}
+	}
+	if len(keyRRs) == 0 {
+		return &zoneTrust{status: StatusBogus, expiry: now + 30}, nil
+	}
+	set, err := dnssec.NewRRset(keyRRs)
+	if err != nil {
+		return &zoneTrust{status: StatusBogus, expiry: now + 30}, nil
+	}
+	// Find a KSK matching a DS and use it to verify the DNSKEY RRset.
+	for _, rr := range keyRRs {
+		key := rr.Data.(dnswire.DNSKEY)
+		for _, ds := range dsSet {
+			if dnssec.VerifyDS(apex, key, ds) != nil {
+				continue
+			}
+			if r.verifyAnySig(set, sigRRs, apex, []dnswire.DNSKEY{key}) {
+				keys := make([]dnswire.DNSKEY, 0, len(keyRRs))
+				for _, krr := range keyRRs {
+					keys = append(keys, krr.Data.(dnswire.DNSKEY))
+				}
+				return &zoneTrust{status: StatusSecure, keys: keys, expiry: now + trustTTL}, nil
+			}
+		}
+	}
+	return &zoneTrust{status: StatusBogus, expiry: now + 30}, nil
+}
+
+// resolveDSInternal resolves (apex, DS) through the normal cached path.
+func (r *Resolver) resolveDSInternal(ctx context.Context, apex dnswire.Name, depth int) (*Result, uint32, error) {
+	now := r.cfg.Now()
+	key := cacheKey{apex, dnswire.TypeDS, false}
+	r.mu.Lock()
+	if e, ok := r.msgCache[key]; ok && serialLTE(now, e.expiry) {
+		res := e.res
+		r.mu.Unlock()
+		return res, 0, nil
+	}
+	r.mu.Unlock()
+	res, ttl, err := r.resolveUncached(ctx, apex, dnswire.TypeDS, depth+1, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	r.mu.Lock()
+	r.msgCache[key] = &cacheEntry{res: res, expiry: now + ttl}
+	r.mu.Unlock()
+	return res, ttl, nil
+}

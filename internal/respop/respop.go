@@ -1,0 +1,423 @@
+// Package respop models the resolver populations of the paper's §4.2
+// and §5.2: vendor policy profiles (BIND, Unbound, Knot, PowerDNS —
+// pre- and post-CVE-2023-50868 patch — Google Public DNS, Cloudflare,
+// Cisco OpenDNS, Quad9, Technitium), broken boxes (strict-zero
+// SERVFAILers, Item 7 violators, three-phase Item 12 violators), and
+// non-validating resolvers, plus population mixes per measurement
+// quadrant (open/closed × IPv4/IPv6) calibrated so the classification
+// pipeline reproduces the shares reported in Figure 3 and §5.2.
+package respop
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/netip"
+
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/resolver"
+	"repro/internal/testbed"
+)
+
+// Profile couples a resolver policy with its modeled real-world origin.
+type Profile struct {
+	// Policy is the behaviour handed to the resolver.
+	Policy resolver.Policy
+	// Vendor documents which implementation/service the profile models.
+	Vendor string
+	// Note records the source of the behaviour (release notes, the
+	// paper's own observations).
+	Note string
+}
+
+// The vendor profiles the paper names. Iteration limits are the values
+// documented in §4.2: BIND9, Knot Resolver, PowerDNS Recursor, and
+// Unbound moved to insecure-above-150 in 2021; all but Unbound lowered
+// to 50 by end of 2023 (CVE-2023-50868); Google Public DNS goes
+// insecure above 100; Quad9 above 150; Cloudflare and Cisco OpenDNS
+// SERVFAIL above 150; Technitium SERVFAILs above 100 with EDE 27 and
+// EXTRA-TEXT.
+var (
+	BIND2021 = Profile{
+		Vendor: "BIND 9.16.16+", Note: "insecure above 150 iterations (2021); predates EDE support",
+		Policy: resolver.Policy{
+			Name: "bind9-2021", Validate: true,
+			InsecureLimit: 150, ServfailLimit: resolver.NoLimit,
+			VerifyInsecureNSEC3: true,
+		},
+	}
+	BINDPatched = Profile{
+		Vendor: "BIND 9.19.19+", Note: "CVE-2023-50868 patch: limit lowered to 50",
+		Policy: resolver.Policy{
+			Name: "bind9-cve-patched", Validate: true,
+			InsecureLimit: 50, ServfailLimit: resolver.NoLimit,
+			VerifyInsecureNSEC3: true,
+			EDE:                 dnswire.EDEUnsupportedNSEC3Iter,
+		},
+	}
+	Unbound2021 = Profile{
+		Vendor: "Unbound 1.13.2+", Note: "kept the 150 limit; no EDE",
+		Policy: resolver.Policy{
+			Name: "unbound-2021", Validate: true,
+			InsecureLimit: 150, ServfailLimit: resolver.NoLimit,
+			VerifyInsecureNSEC3: true,
+		},
+	}
+	GooglePublicDNS = Profile{
+		Vendor: "Google Public DNS", Note: "insecure above 100; EDE 5 (DNSSEC Indeterminate)",
+		Policy: resolver.Policy{
+			Name: "google-public-dns", Validate: true,
+			InsecureLimit: 100, ServfailLimit: resolver.NoLimit,
+			VerifyInsecureNSEC3: true,
+			EDE:                 dnswire.EDEDNSSECIndeterminate,
+		},
+	}
+	Quad9 = Profile{
+		Vendor: "Quad9", Note: "insecure above 150; no EDE",
+		Policy: resolver.Policy{
+			Name: "quad9", Validate: true,
+			InsecureLimit: 150, ServfailLimit: resolver.NoLimit,
+			VerifyInsecureNSEC3: true,
+		},
+	}
+	Cloudflare = Profile{
+		Vendor: "Cloudflare Resolver", Note: "SERVFAIL above 150; EDE 27",
+		Policy: resolver.Policy{
+			Name: "cloudflare", Validate: true,
+			InsecureLimit: resolver.NoLimit, ServfailLimit: 150,
+			VerifyInsecureNSEC3: true,
+			EDE:                 dnswire.EDEUnsupportedNSEC3Iter,
+		},
+	}
+	OpenDNS = Profile{
+		Vendor: "Cisco OpenDNS", Note: "SERVFAIL above 150; EDE 12 (NSEC Missing)",
+		Policy: resolver.Policy{
+			Name: "opendns", Validate: true,
+			InsecureLimit: resolver.NoLimit, ServfailLimit: 150,
+			VerifyInsecureNSEC3: true,
+			EDE:                 dnswire.EDENSECMissing,
+		},
+	}
+	Technitium = Profile{
+		Vendor: "Technitium DNS Server", Note: "SERVFAIL above 100; EDE 27 with EXTRA-TEXT",
+		Policy: resolver.Policy{
+			Name: "technitium", Validate: true,
+			InsecureLimit: resolver.NoLimit, ServfailLimit: 100,
+			VerifyInsecureNSEC3: true,
+			EDE:                 dnswire.EDEUnsupportedNSEC3Iter,
+			EDEText:             "Unsupported NSEC3 iterations value",
+		},
+	}
+	StrictZero = Profile{
+		Vendor: "strict-zero boxes", Note: "SERVFAIL for any iteration count above 0; RA echoed (§5.2)",
+		Policy: resolver.Policy{
+			Name: "strict-zero", Validate: true,
+			InsecureLimit: resolver.NoLimit, ServfailLimit: 0,
+			VerifyInsecureNSEC3: true,
+			EchoRA:              true,
+		},
+	}
+	NegativeADForwarder = Profile{
+		Vendor: "AD-stripping forwarders", Note: "validate (expired ⇒ SERVFAIL) but never set AD on NXDOMAIN — no observable Item 6 transition (the ≈40 % of §5.2 validators outside Items 6/8)",
+		Policy: resolver.Policy{
+			Name: "ad-stripping-forwarder", Validate: true,
+			InsecureLimit: 150, ServfailLimit: resolver.NoLimit,
+			VerifyInsecureNSEC3: true,
+			NoNegativeAD:        true,
+		},
+	}
+	Legacy2018 = Profile{
+		Vendor: "pre-2021 validators", Note: "no iteration limit below the RFC 5155 caps",
+		Policy: resolver.Policy{
+			Name: "legacy-2018", Validate: true,
+			InsecureLimit: resolver.NoLimit, ServfailLimit: resolver.NoLimit,
+			VerifyInsecureNSEC3: true,
+		},
+	}
+	Item7Violator = Profile{
+		Vendor: "misconfigured validators", Note: "skip RRSIG check on over-limit NSEC3 (violates Item 7; 0.2 % in §5.2)",
+		Policy: resolver.Policy{
+			Name: "item7-violator", Validate: true,
+			InsecureLimit: 150, ServfailLimit: resolver.NoLimit,
+			VerifyInsecureNSEC3: false,
+		},
+	}
+	ThreePhase = Profile{
+		Vendor: "broken boxes", Note: "insecure at one limit, SERVFAIL at a higher one (violates Item 12; 4.3 % in §5.2)",
+		Policy: resolver.Policy{
+			Name: "three-phase", Validate: true,
+			InsecureLimit: 100, ServfailLimit: 150,
+			VerifyInsecureNSEC3: true,
+		},
+	}
+	NonValidating = Profile{
+		Vendor: "non-validating resolvers", Note: "no DNSSEC validation at all",
+		Policy: resolver.Policy{
+			Name: "non-validating", Validate: false,
+			InsecureLimit: resolver.NoLimit, ServfailLimit: resolver.NoLimit,
+		},
+	}
+)
+
+// Profiles lists every profile, for iteration in tests and docs.
+func Profiles() []Profile {
+	return []Profile{
+		BIND2021, BINDPatched, Unbound2021, GooglePublicDNS, Quad9,
+		Cloudflare, OpenDNS, Technitium, StrictZero, Legacy2018,
+		NegativeADForwarder, Item7Violator, ThreePhase, NonValidating,
+	}
+}
+
+// Quadrant names one of the four measured resolver categories of
+// Figure 3.
+type Quadrant int
+
+// Quadrants.
+const (
+	OpenIPv4 Quadrant = iota
+	OpenIPv6
+	ClosedIPv4
+	ClosedIPv6
+)
+
+// String returns the figure label.
+func (q Quadrant) String() string {
+	switch q {
+	case OpenIPv4:
+		return "Open, IPv4"
+	case OpenIPv6:
+		return "Open, IPv6"
+	case ClosedIPv4:
+		return "Closed, IPv4"
+	case ClosedIPv6:
+		return "Closed, IPv6"
+	}
+	return "?"
+}
+
+// Share is one profile's weight within a quadrant mix.
+type Share struct {
+	Profile Profile
+	Weight  float64
+}
+
+// Mix returns the calibrated profile mix for a quadrant. The weights
+// apportion *validators* so the §5.2 shares emerge: 59.9 % implement
+// Item 6 (150 dominant, 100 = Google at 36.4 % of open IPv4, 50 =
+// patched at 1/12.5 of the 150 group), 18.4 % implement Item 8 (mostly
+// SERVFAIL from 151 via Cloudflare/OpenDNS forwardees, plus the small
+// Technitium and strict-zero clusters), ≈22 % validate with no limit
+// below the RFC 5155 caps, 0.2 % violate Item 7, and 4.3 % are
+// three-phase boxes violating Item 12. EDE 27 stays under 18 % of the
+// limit-implementing group (§5.2): only Cloudflare, Technitium, and
+// CVE-patched BIND emit it.
+func Mix(q Quadrant) []Share {
+	switch q {
+	case OpenIPv4:
+		return []Share{
+			// Item 6 at 150: 2021-era BIND/Unbound/Knot/PowerDNS plus
+			// Quad9 forwardees — 17.6 % (so that with Google's 36.4 %
+			// and the patched 1.4 %, Item 6 lands at ≈59.9 %).
+			{BIND2021, 0.130}, {Unbound2021, 0.036}, {Quad9, 0.010},
+			// Item 6 at 100: Google Public DNS forwardees — the 36.4 %
+			// of open IPv4 validators that cleared AD at 101 (§5.2).
+			{GooglePublicDNS, 0.364},
+			// Item 6 at 50: CVE-2023-50868-patched software, 12.5×
+			// rarer than the 150 limit (§5.2).
+			{BINDPatched, 0.014},
+			// Item 8 at 151: Cloudflare and OpenDNS forwardees.
+			{Cloudflare, 0.100}, {OpenDNS, 0.036},
+			// Item 8 at 101: Technitium (92 resolvers).
+			{Technitium, 0.001},
+			// Item 8 at 1: strict-zero boxes (418 resolvers).
+			{StrictZero, 0.004},
+			// Validators with no observable transition: AD-stripping
+			// forwarders plus a residue of no-limit pre-2021 boxes.
+			{NegativeADForwarder, 0.240}, {Legacy2018, 0.020},
+			{Item7Violator, 0.002},
+			{ThreePhase, 0.043},
+		}
+	case OpenIPv6:
+		return []Share{
+			{BIND2021, 0.270}, {Unbound2021, 0.080}, {Quad9, 0.020},
+			{GooglePublicDNS, 0.150},
+			{BINDPatched, 0.030},
+			{Cloudflare, 0.100}, {OpenDNS, 0.040},
+			{StrictZero, 0.002},
+			{NegativeADForwarder, 0.242}, {Legacy2018, 0.020},
+			{Item7Violator, 0.002},
+			{ThreePhase, 0.044},
+		}
+	case ClosedIPv4:
+		return []Share{
+			{BIND2021, 0.290}, {Unbound2021, 0.090}, {Quad9, 0.010},
+			{GooglePublicDNS, 0.140},
+			{BINDPatched, 0.030},
+			{Cloudflare, 0.090}, {OpenDNS, 0.040},
+			{NegativeADForwarder, 0.246}, {Legacy2018, 0.020},
+			{Item7Violator, 0.002},
+			{ThreePhase, 0.042},
+		}
+	default: // ClosedIPv6
+		return []Share{
+			{BIND2021, 0.300}, {Unbound2021, 0.100},
+			{GooglePublicDNS, 0.120},
+			{BINDPatched, 0.030},
+			{Cloudflare, 0.100}, {OpenDNS, 0.030},
+			{NegativeADForwarder, 0.252}, {Legacy2018, 0.020},
+			{Item7Violator, 0.002},
+			{ThreePhase, 0.046},
+		}
+	}
+}
+
+// Instance is one deployed resolver in the simulation.
+type Instance struct {
+	Addr     netip.AddrPort
+	Quadrant Quadrant
+	Profile  Profile
+	Resolver *resolver.Resolver
+}
+
+// DeployConfig sizes a resolver population.
+type DeployConfig struct {
+	// Validators per quadrant (the paper found 105.2 K open IPv4,
+	// 6.8 K open IPv6, 1,236 closed IPv4, 689 closed IPv6; deploy a
+	// scaled-down version).
+	Counts map[Quadrant]int
+	// Seed drives the deterministic profile assignment.
+	Seed uint64
+	// Now is the simulation clock for all resolvers.
+	Now func() uint32
+}
+
+// DefaultCounts scales the paper's validator counts (105.2 K open
+// IPv4, 6.8 K open IPv6, 1,236 closed IPv4, 689 closed IPv6) by 1/den,
+// keeping at least 50 resolvers per quadrant so shares stay resolvable.
+func DefaultCounts(den int) map[Quadrant]int {
+	if den < 1 {
+		den = 1
+	}
+	scale := func(n int) int {
+		s := n / den
+		if s < 50 {
+			s = min(n, 50)
+		}
+		return s
+	}
+	return map[Quadrant]int{
+		OpenIPv4:   scale(105200),
+		OpenIPv6:   scale(6800),
+		ClosedIPv4: scale(1236),
+		ClosedIPv6: scale(689),
+	}
+}
+
+// Deploy instantiates the resolver fleet on the hierarchy's network,
+// assigning profiles per the quadrant mixes, and registers each
+// resolver at a unique address. Closed resolvers are registered too —
+// reachability policy (closed = only probed via Atlas) is enforced by
+// the experiment driver, not the transport.
+//
+// Profile counts use deterministic largest-remainder allocation, so
+// shares are exact at any scale and rare profiles (Item 7 violators at
+// 0.2 %, strict-zero boxes) are present whenever the quadrant has at
+// least as many resolvers as the mix has profiles — the property the
+// paper's absolute counts (418 strict-zero boxes, 92 Technitium) rely
+// on.
+func Deploy(h *testbed.Hierarchy, cfg DeployConfig) ([]*Instance, error) {
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xA5A5A5A5))
+	var out []*Instance
+	nextV4 := uint32(0x0A100000) // 10.16.0.0 upward
+	nextV6 := uint32(0x20000)
+	for _, q := range []Quadrant{OpenIPv4, OpenIPv6, ClosedIPv4, ClosedIPv6} {
+		n := cfg.Counts[q]
+		mix := Mix(q)
+		assignment := allocate(mix, n)
+		// Shuffle so profile runs do not correlate with addresses.
+		rng.Shuffle(len(assignment), func(i, j int) {
+			assignment[i], assignment[j] = assignment[j], assignment[i]
+		})
+		for i := 0; i < n; i++ {
+			p := assignment[i]
+			var addr netip.AddrPort
+			switch q {
+			case OpenIPv4, ClosedIPv4:
+				nextV4++
+				addr = netip.AddrPortFrom(netip.AddrFrom4([4]byte{
+					byte(nextV4 >> 24), byte(nextV4 >> 16), byte(nextV4 >> 8), byte(nextV4),
+				}), 53)
+			default:
+				nextV6++
+				addr = netsim.Addr6(nextV6)
+			}
+			res := resolver.New(resolver.Config{
+				Roots:       h.Roots,
+				TrustAnchor: h.TrustAnchor,
+				Exchanger:   h.Net,
+				Policy:      p.Policy,
+				Now:         cfg.Now,
+			})
+			h.Net.Register(addr, res)
+			out = append(out, &Instance{Addr: addr, Quadrant: q, Profile: p, Resolver: res})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("respop: empty deployment")
+	}
+	return out, nil
+}
+
+// allocate distributes n slots over the mix by largest remainder,
+// guaranteeing at least one slot per profile when n ≥ len(mix).
+func allocate(mix []Share, n int) []Profile {
+	total := 0.0
+	for _, s := range mix {
+		total += s.Weight
+	}
+	counts := make([]int, len(mix))
+	rema := make([]float64, len(mix))
+	used := 0
+	for i, s := range mix {
+		ideal := float64(n) * s.Weight / total
+		counts[i] = int(ideal)
+		rema[i] = ideal - float64(counts[i])
+		used += counts[i]
+	}
+	for used < n {
+		best := 0
+		for i := 1; i < len(rema); i++ {
+			if rema[i] > rema[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rema[best] = -1
+		used++
+	}
+	// Guarantee presence of every profile by stealing from the largest.
+	if n >= len(mix) {
+		for i := range counts {
+			if counts[i] > 0 {
+				continue
+			}
+			donor := 0
+			for j := range counts {
+				if counts[j] > counts[donor] {
+					donor = j
+				}
+			}
+			if counts[donor] > 1 {
+				counts[donor]--
+				counts[i]++
+			}
+		}
+	}
+	out := make([]Profile, 0, n)
+	for i, c := range counts {
+		for k := 0; k < c; k++ {
+			out = append(out, mix[i].Profile)
+		}
+	}
+	return out
+}

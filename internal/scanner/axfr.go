@@ -1,0 +1,60 @@
+package scanner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// This file is the zone-transfer client of §4.1: the paper obtained
+// ccTLD zone files for .ch, .nu, .se, and .li via AXFR and counted
+// domains under the Identity Digital TLDs from downloaded zone files.
+
+// ErrTransferRefused is returned when the server's policy denies AXFR.
+var ErrTransferRefused = errors.New("scanner: zone transfer refused")
+
+// Transfer performs an AXFR of the zone rooted at apex from server and
+// returns the records between (and excluding) the two SOA markers.
+func Transfer(ctx context.Context, ex netsim.Exchanger, server netip.AddrPort, apex dnswire.Name) ([]dnswire.RR, error) {
+	q := &dnswire.Message{
+		Header:    dnswire.Header{ID: 0xAF, Opcode: dnswire.OpcodeQuery},
+		Questions: []dnswire.Question{{Name: apex, Type: dnswire.TypeAXFR, Class: dnswire.ClassIN}},
+	}
+	resp, err := ex.Exchange(ctx, server, q)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Header.RCode {
+	case dnswire.RCodeNoError:
+	case dnswire.RCodeRefused:
+		return nil, fmt.Errorf("%w: %s from %s", ErrTransferRefused, apex, server)
+	default:
+		return nil, fmt.Errorf("scanner: AXFR of %s: %s", apex, resp.Header.RCode)
+	}
+	rrs := resp.Answers
+	if len(rrs) < 2 || rrs[0].Type() != dnswire.TypeSOA || rrs[len(rrs)-1].Type() != dnswire.TypeSOA {
+		return nil, fmt.Errorf("scanner: AXFR of %s not SOA-delimited (%d records)", apex, len(rrs))
+	}
+	return rrs[1 : len(rrs)-1], nil
+}
+
+// CountDelegations counts the distinct delegated child names in a
+// transferred TLD zone — the way the paper counted registered domains
+// under a TLD from its zone file.
+func CountDelegations(apex dnswire.Name, rrs []dnswire.RR) int {
+	seen := make(map[dnswire.Name]bool)
+	for _, rr := range rrs {
+		if rr.Type() != dnswire.TypeNS {
+			continue
+		}
+		if rr.Name == apex || !rr.Name.IsSubdomainOf(apex) {
+			continue
+		}
+		seen[rr.Name] = true
+	}
+	return len(seen)
+}

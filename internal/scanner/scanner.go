@@ -1,0 +1,267 @@
+// Package scanner is the bulk measurement engine of §4.1 — the role
+// zdns played in the paper: a worker pool with token-bucket rate
+// limiting that, for each registered domain, queries DNSKEY (DNSSEC
+// enablement), NSEC3PARAM and NS, and then a random non-existent
+// subdomain to elicit the NSEC3 records from the negative response.
+// Results stream out as compliance.ZoneFacts ready for classification,
+// or as NDJSON via the Encode helpers (cmd/nsec3scan).
+package scanner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/compliance"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// Config assembles a scanner.
+type Config struct {
+	// Exchanger is the transport.
+	Exchanger netsim.Exchanger
+	// Resolver is the recursive resolver all queries go through (the
+	// paper used Cloudflare's 1.1.1.1).
+	Resolver netip.AddrPort
+	// Workers is the concurrency (default 32).
+	Workers int
+	// QPS caps the aggregate query rate; 0 disables the limiter. The
+	// paper limited itself to 14.7 K requests per second on average
+	// (Appendix A).
+	QPS int
+	// Seed drives the random probe labels.
+	Seed uint64
+	// Timeout bounds each query (default 5s).
+	Timeout time.Duration
+}
+
+// Result is one scanned domain: its facts plus scan metadata.
+type Result struct {
+	Facts compliance.ZoneFacts
+	// Queries is how many DNS queries the scan of this domain used.
+	Queries int
+	// Err is a transport-level failure (the domain may be retried).
+	Err error
+}
+
+// Scanner scans domains through a recursive resolver.
+type Scanner struct {
+	cfg     Config
+	limiter *tokenBucket
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	idMu   sync.Mutex
+	nextID uint16
+}
+
+// New creates a scanner.
+func New(cfg Config) *Scanner {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 32
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	s := &Scanner{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5851F42D4C957F2D)),
+	}
+	if cfg.QPS > 0 {
+		s.limiter = newTokenBucket(cfg.QPS)
+	}
+	return s
+}
+
+// randomLabel generates the random-subdomain probe label (cache
+// busting plus negative-response elicitation, §4.1).
+func (s *Scanner) randomLabel() string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := make([]byte, 16)
+	for i := range b {
+		b[i] = alphabet[s.rng.IntN(len(alphabet))]
+	}
+	return "zz-probe-" + string(b)
+}
+
+func (s *Scanner) id() uint16 {
+	s.idMu.Lock()
+	defer s.idMu.Unlock()
+	s.nextID++
+	return s.nextID
+}
+
+// query sends one recursive query (RD+CD+DO) through the resolver.
+func (s *Scanner) query(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	if s.limiter != nil {
+		if err := s.limiter.wait(ctx); err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
+	defer cancel()
+	q := dnswire.NewQuery(s.id(), qname, qtype, true)
+	q.Header.CheckingDisabled = true
+	return s.cfg.Exchanger.Exchange(ctx, s.cfg.Resolver, q)
+}
+
+// ScanDomain runs the §4.1 probe sequence for one registered domain.
+func (s *Scanner) ScanDomain(ctx context.Context, domain dnswire.Name) Result {
+	res := Result{Facts: compliance.ZoneFacts{Domain: domain}}
+
+	// 1. DNSKEY: the DNSSEC-enablement test.
+	msg, err := s.query(ctx, domain, dnswire.TypeDNSKEY)
+	if err != nil {
+		res.Err = fmt.Errorf("scanner: DNSKEY query: %w", err)
+		return res
+	}
+	res.Queries++
+	for _, rr := range msg.Answers {
+		if k, ok := rr.Data.(dnswire.DNSKEY); ok {
+			res.Facts.DNSKEYs = append(res.Facts.DNSKEYs, k)
+		}
+	}
+	if len(res.Facts.DNSKEYs) == 0 {
+		return res // not DNSSEC-enabled: no further queries (§4.1)
+	}
+
+	// 2. NSEC3PARAM.
+	msg, err = s.query(ctx, domain, dnswire.TypeNSEC3PARAM)
+	if err != nil {
+		res.Err = fmt.Errorf("scanner: NSEC3PARAM query: %w", err)
+		return res
+	}
+	res.Queries++
+	for _, rr := range msg.Answers {
+		if p, ok := rr.Data.(dnswire.NSEC3PARAM); ok {
+			res.Facts.NSEC3PARAMs = append(res.Facts.NSEC3PARAMs, p)
+		}
+	}
+
+	// 3. NS (operator attribution).
+	msg, err = s.query(ctx, domain, dnswire.TypeNS)
+	if err != nil {
+		res.Err = fmt.Errorf("scanner: NS query: %w", err)
+		return res
+	}
+	res.Queries++
+	for _, rr := range msg.Answers {
+		if ns, ok := rr.Data.(dnswire.NS); ok {
+			res.Facts.NSHosts = append(res.Facts.NSHosts, ns.Host)
+		}
+	}
+
+	// 4. Random subdomain: elicit NSEC3 (or NSEC) from the negative
+	// response (or from a wildcard expansion's proof).
+	probe, err := domain.Child(s.randomLabel())
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	msg, err = s.query(ctx, probe, dnswire.TypeA)
+	if err != nil {
+		res.Err = fmt.Errorf("scanner: probe query: %w", err)
+		return res
+	}
+	res.Queries++
+	for _, rr := range msg.Authority {
+		switch d := rr.Data.(type) {
+		case dnswire.NSEC3:
+			res.Facts.NSEC3s = append(res.Facts.NSEC3s, d)
+		case dnswire.NSEC:
+			res.Facts.NSECSeen = true
+		}
+	}
+	return res
+}
+
+// ScanAll scans domains concurrently and invokes emit for every result
+// (emit is called from multiple goroutines; it must be safe or the
+// caller serializes with a channel).
+func (s *Scanner) ScanAll(ctx context.Context, domains []dnswire.Name, emit func(Result)) error {
+	jobs := make(chan dnswire.Name)
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range jobs {
+				emit(s.ScanDomain(ctx, d))
+			}
+		}()
+	}
+	var err error
+feed:
+	for _, d := range domains {
+		select {
+		case jobs <- d:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return err
+}
+
+// tokenBucket is a simple QPS limiter.
+type tokenBucket struct {
+	tick *time.Ticker
+}
+
+func newTokenBucket(qps int) *tokenBucket {
+	return &tokenBucket{tick: time.NewTicker(time.Second / time.Duration(qps))}
+}
+
+func (b *tokenBucket) wait(ctx context.Context) error {
+	select {
+	case <-b.tick.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// resultJSON is the NDJSON encoding of a Result (zdns-style output).
+type resultJSON struct {
+	Domain      string   `json:"domain"`
+	DNSSEC      bool     `json:"dnssec_enabled"`
+	NSEC3Params []string `json:"nsec3param,omitempty"`
+	NSEC3Count  int      `json:"nsec3_records,omitempty"`
+	NSECSeen    bool     `json:"nsec_seen,omitempty"`
+	NSHosts     []string `json:"ns,omitempty"`
+	Queries     int      `json:"queries"`
+	Error       string   `json:"error,omitempty"`
+}
+
+// Encode writes one result as a JSON line.
+func Encode(w io.Writer, r Result) error {
+	out := resultJSON{
+		Domain:     r.Facts.Domain.String(),
+		DNSSEC:     len(r.Facts.DNSKEYs) > 0,
+		NSEC3Count: len(r.Facts.NSEC3s),
+		NSECSeen:   r.Facts.NSECSeen,
+		Queries:    r.Queries,
+	}
+	for _, p := range r.Facts.NSEC3PARAMs {
+		out.NSEC3Params = append(out.NSEC3Params, p.String())
+	}
+	for _, h := range r.Facts.NSHosts {
+		out.NSHosts = append(out.NSHosts, h.String())
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,242 @@
+package scanner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compliance"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/nsec3"
+	"repro/internal/population"
+	"repro/internal/resolver"
+	"repro/internal/respop"
+	"repro/internal/testbed"
+	"repro/internal/zone"
+)
+
+// scanWorld builds a tiny universe, deploys it, installs a recursive
+// resolver at 1.1.1.1, and returns (network, resolver addr, universe).
+func scanWorld(t testing.TB, n int) (*netsim.Network, *population.Universe) {
+	t.Helper()
+	u, err := population.Generate(population.Config{Registered: n, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.NewNetwork(9)
+	dep, err := population.Deploy(u, net, 1709251200, 1717200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resolver.New(resolver.Config{
+		Roots:           dep.Hierarchy.Roots,
+		TrustAnchor:     dep.Hierarchy.TrustAnchor,
+		Exchanger:       net,
+		Policy:          respop.Cloudflare.Policy,
+		Now:             func() uint32 { return 1712000000 },
+		MaxCacheEntries: 1 << 16,
+	})
+	net.Register(netsim.Addr4(1, 1, 1, 1), res)
+	return net, u
+}
+
+func newScanner(net *netsim.Network, qps int) *Scanner {
+	return New(Config{
+		Exchanger: net,
+		Resolver:  netsim.Addr4(1, 1, 1, 1),
+		Workers:   8,
+		QPS:       qps,
+		Seed:      7,
+	})
+}
+
+func TestScanDomainClassifications(t *testing.T) {
+	net, u := scanWorld(t, 400)
+	sc := newScanner(net, 0)
+	// Find one NSEC3, one NSEC-signed, and one unsigned domain.
+	var nsec3Spec, nsecSpec, unsignedSpec *population.DomainSpec
+	for i := range u.Domains {
+		d := &u.Domains[i]
+		switch {
+		case d.NSEC3 && nsec3Spec == nil:
+			nsec3Spec = d
+		case d.DNSSEC && !d.NSEC3 && nsecSpec == nil:
+			nsecSpec = d
+		case !d.DNSSEC && unsignedSpec == nil:
+			unsignedSpec = d
+		}
+	}
+	if nsec3Spec == nil || nsecSpec == nil || unsignedSpec == nil {
+		t.Fatal("universe too small to cover all classes")
+	}
+
+	r := sc.ScanDomain(context.Background(), nsec3Spec.Name)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	c := compliance.Classify(r.Facts)
+	if !c.NSEC3Enabled {
+		t.Fatalf("NSEC3 domain not detected: %+v", r.Facts)
+	}
+	if c.Iterations != nsec3Spec.Iterations || c.SaltLen != nsec3Spec.SaltLen {
+		t.Fatalf("params %d/%d, spec %d/%d", c.Iterations, c.SaltLen,
+			nsec3Spec.Iterations, nsec3Spec.SaltLen)
+	}
+	if len(r.Facts.NSHosts) == 0 {
+		t.Fatal("no NS hosts scanned")
+	}
+	if r.Queries != 4 {
+		t.Fatalf("NSEC3 domain used %d queries, want 4", r.Queries)
+	}
+
+	r = sc.ScanDomain(context.Background(), nsecSpec.Name)
+	c = compliance.Classify(r.Facts)
+	if !c.DNSSECEnabled || c.NSEC3Enabled || !r.Facts.NSECSeen {
+		t.Fatalf("NSEC domain misclassified: %+v", c)
+	}
+
+	r = sc.ScanDomain(context.Background(), unsignedSpec.Name)
+	c = compliance.Classify(r.Facts)
+	if c.DNSSECEnabled {
+		t.Fatalf("unsigned domain classified as DNSSEC: %+v", r.Facts)
+	}
+	if r.Queries != 1 {
+		t.Fatalf("unsigned domain used %d queries, want 1 (early exit)", r.Queries)
+	}
+}
+
+func TestScanAllConcurrent(t *testing.T) {
+	net, u := scanWorld(t, 300)
+	sc := newScanner(net, 0)
+	names := make([]dnswire.Name, 0, 100)
+	for i := range u.Domains[:100] {
+		names = append(names, u.Domains[i].Name)
+	}
+	var mu sync.Mutex
+	var got []Result
+	err := sc.ScanAll(context.Background(), names, func(r Result) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("emitted %d results", len(got))
+	}
+	for _, r := range got {
+		if r.Err != nil {
+			t.Fatalf("scan error for %s: %v", r.Facts.Domain, r.Err)
+		}
+	}
+}
+
+func TestScanAllHonorsContext(t *testing.T) {
+	net, u := scanWorld(t, 300)
+	sc := newScanner(net, 1) // 1 qps: guaranteed to outlive the context
+	names := make([]dnswire.Name, 0, 50)
+	for i := range u.Domains[:50] {
+		names = append(names, u.Domains[i].Name)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := sc.ScanAll(ctx, names, func(Result) {})
+	if err == nil {
+		t.Fatal("cancelled scan returned nil error")
+	}
+}
+
+func TestRandomLabelsUnique(t *testing.T) {
+	sc := newScanner(netsim.NewNetwork(1), 0)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		l := sc.randomLabel()
+		if seen[l] {
+			t.Fatalf("duplicate label %s", l)
+		}
+		if !strings.HasPrefix(l, "zz-probe-") {
+			t.Fatalf("label %q misses prefix", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestEncodeNDJSON(t *testing.T) {
+	r := Result{
+		Facts: compliance.ZoneFacts{
+			Domain:  dnswire.MustParseName("a.example"),
+			DNSKEYs: []dnswire.DNSKEY{{Flags: 256, Protocol: 3}},
+			NSEC3PARAMs: []dnswire.NSEC3PARAM{{
+				HashAlg: 1, Iterations: 5, Salt: []byte{0xAB},
+			}},
+			NSEC3s:  []dnswire.NSEC3{{HashAlg: 1}},
+			NSHosts: []dnswire.Name{dnswire.MustParseName("ns1.op.example")},
+		},
+		Queries: 4,
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["domain"] != "a.example." || decoded["dnssec_enabled"] != true {
+		t.Fatalf("decoded %v", decoded)
+	}
+	if decoded["nsec3param"].([]any)[0] != "1 0 5 AB" {
+		t.Fatalf("nsec3param = %v", decoded["nsec3param"])
+	}
+}
+
+// TestScanHighIterationDomainViaCD verifies the scanner retrieves NSEC3
+// records even from zones a validating resolver would SERVFAIL on —
+// the CD bit at work.
+func TestScanHighIterationDomainViaCD(t *testing.T) {
+	// Build a dedicated world with one 500-iteration domain behind a
+	// Cloudflare-policy resolver (SERVFAIL above 150 without CD).
+	b := testbed.NewBuilder(1709251200, 1717200000)
+	b.AddZone(testbed.ZoneSpec{
+		Apex: dnswire.Root, Sign: zone.SignConfig{Denial: zone.DenialNSEC},
+		Server: netsim.Addr4(198, 41, 0, 4),
+	})
+	b.AddZone(testbed.ZoneSpec{
+		Apex: dnswire.MustParseName("test"), Sign: zone.SignConfig{Denial: zone.DenialNSEC},
+		Server: netsim.Addr4(192, 5, 6, 30),
+	})
+	b.AddZone(testbed.ZoneSpec{
+		Apex: dnswire.MustParseName("heavy.test"),
+		Sign: zone.SignConfig{
+			Denial: zone.DenialNSEC3,
+			NSEC3:  nsec3.Params{Iterations: 500, Salt: []byte{1, 2}},
+		},
+		Server: netsim.Addr4(203, 0, 113, 50),
+	})
+	net := netsim.NewNetwork(3)
+	h, err := b.Build(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resolver.New(resolver.Config{
+		Roots: h.Roots, TrustAnchor: h.TrustAnchor, Exchanger: net,
+		Policy: respop.Cloudflare.Policy,
+		Now:    func() uint32 { return 1712000000 },
+	})
+	net.Register(netsim.Addr4(1, 1, 1, 1), res)
+	sc := newScanner(net, 0)
+	r := sc.ScanDomain(context.Background(), dnswire.MustParseName("heavy.test"))
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	c := compliance.Classify(r.Facts)
+	if !c.NSEC3Enabled || c.Iterations != 500 || c.SaltLen != 2 {
+		t.Fatalf("heavy domain misread: %+v", c)
+	}
+}

@@ -1,0 +1,238 @@
+// Package testbed assembles complete simulated DNS hierarchies — root,
+// TLDs, and leaf zones wired to authoritative servers on a netsim
+// network — and reproduces the paper's measurement infrastructure: the
+// rfc9276-in-the-wild.com domain with its 49 specially crafted
+// subdomains (valid, expired, it-1 … it-500, it-2501-expired) and the
+// prober that queries them through a resolver to classify its RFC 9276
+// behaviour.
+package testbed
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/authserver"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/zone"
+)
+
+// ZoneSpec describes one zone to build into a hierarchy.
+type ZoneSpec struct {
+	// Apex is the zone name.
+	Apex dnswire.Name
+	// Populate adds the zone's records (SOA/NS/glue are added by the
+	// builder; add only data records).
+	Populate func(*zone.Zone)
+	// Sign configures DNSSEC for the zone. Inception/Expiration are
+	// filled from the builder defaults when zero.
+	Sign zone.SignConfig
+	// Unsigned, when true, leaves the zone without DNSSEC (its
+	// delegation gets no DS — an insecure delegation).
+	Unsigned bool
+	// NSHost overrides the conventional in-bailiwick "ns.<apex>" name
+	// server host. An out-of-bailiwick NSHost produces a glue-less
+	// delegation that resolvers chase by resolving the host themselves
+	// (how operator-run name servers appear in the real DNS).
+	NSHost dnswire.Name
+	// Server is the address the zone's authoritative server listens
+	// on. Zones may share a server.
+	Server netip.AddrPort
+	// ServerV6, when valid, adds an IPv6 address for the same server.
+	ServerV6 netip.AddrPort
+}
+
+// Hierarchy is a built, signed, served DNS tree.
+type Hierarchy struct {
+	Net         *netsim.Network
+	Roots       []netip.AddrPort
+	TrustAnchor []dnswire.DS
+	// Zones maps apex to its signed zone (nil for unsigned zones).
+	Zones map[dnswire.Name]*zone.Signed
+	// Servers maps listen address to the server instance.
+	Servers map[netip.AddrPort]*authserver.Server
+	// Log records queries on every server (shared).
+	Log *authserver.QueryLog
+}
+
+// Builder accumulates zone specs and wires them together.
+type Builder struct {
+	specs map[dnswire.Name]*ZoneSpec
+	// Inception/Expiration default the RRSIG window of every zone.
+	Inception, Expiration uint32
+	// TTL is the default record TTL.
+	TTL uint32
+}
+
+// NewBuilder creates a builder with the given default signing window.
+func NewBuilder(inception, expiration uint32) *Builder {
+	return &Builder{
+		specs:     make(map[dnswire.Name]*ZoneSpec),
+		Inception: inception, Expiration: expiration,
+		TTL: 300,
+	}
+}
+
+// AddZone registers a zone spec. The root zone (".") must be included.
+func (b *Builder) AddZone(spec ZoneSpec) *Builder {
+	s := spec
+	b.specs[spec.Apex] = &s
+	return b
+}
+
+// nsHost returns the zone's name server host: the spec override or the
+// conventional in-bailiwick "ns.<apex>".
+func (s *ZoneSpec) nsHost() dnswire.Name {
+	if s.NSHost != "" {
+		return s.NSHost
+	}
+	if s.Apex.IsRoot() {
+		return dnswire.MustParseName("ns.root-servers.invalid")
+	}
+	return s.Apex.MustChild("ns")
+}
+
+// parentOf finds the deepest registered proper ancestor of apex by
+// walking up the name, so building stays O(zones × depth).
+func (b *Builder) parentOf(apex dnswire.Name) (*ZoneSpec, bool) {
+	for cur := apex.Parent(); ; cur = cur.Parent() {
+		if spec, ok := b.specs[cur]; ok {
+			return spec, true
+		}
+		if cur.IsRoot() {
+			return nil, false
+		}
+	}
+}
+
+// Build signs every zone bottom-up, inserts delegations (NS + glue +
+// DS) into parents, registers authoritative servers on net, and returns
+// the hierarchy with the root trust anchor.
+func (b *Builder) Build(net *netsim.Network) (*Hierarchy, error) {
+	rootSpec, ok := b.specs[dnswire.Root]
+	if !ok {
+		return nil, fmt.Errorf("testbed: hierarchy needs a root zone")
+	}
+	// Deepest zones first so DS records exist before parents sign.
+	order := make([]*ZoneSpec, 0, len(b.specs))
+	for _, s := range b.specs {
+		order = append(order, s)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := order[i].Apex.CountLabels(), order[j].Apex.CountLabels()
+		if di != dj {
+			return di > dj
+		}
+		return order[i].Apex < order[j].Apex
+	})
+
+	h := &Hierarchy{
+		Net:     net,
+		Zones:   make(map[dnswire.Name]*zone.Signed),
+		Servers: make(map[netip.AddrPort]*authserver.Server),
+		Log:     authserver.NewQueryLog(1 << 16),
+	}
+	raw := make(map[dnswire.Name]*zone.Zone)
+
+	// First pass: materialize raw zones with SOA, apex NS, glue, data.
+	for _, spec := range order {
+		z := zone.New(spec.Apex, b.TTL)
+		ns := spec.nsHost()
+		z.MustAdd(dnswire.RR{Name: spec.Apex, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.SOA{
+			MName: ns, RName: spec.Apex.MustChild("hostmaster"),
+			Serial: 2024030501, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300,
+		}})
+		z.MustAdd(dnswire.RR{Name: spec.Apex, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.NS{Host: ns}})
+		if ns.IsSubdomainOf(spec.Apex) {
+			z.MustAdd(dnswire.RR{Name: ns, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.A{Addr: spec.Server.Addr()}})
+			if spec.ServerV6.IsValid() {
+				z.MustAdd(dnswire.RR{Name: ns, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.AAAA{Addr: spec.ServerV6.Addr()}})
+			}
+		}
+		if spec.Populate != nil {
+			spec.Populate(z)
+		}
+		raw[spec.Apex] = z
+	}
+
+	// Second pass (deepest first): sign, then install delegation + DS
+	// into the parent's raw zone.
+	for _, spec := range order {
+		z := raw[spec.Apex]
+		var signed *zone.Signed
+		if !spec.Unsigned {
+			cfg := spec.Sign
+			if cfg.Inception == 0 {
+				cfg.Inception, cfg.Expiration = b.Inception, b.Expiration
+			}
+			var err error
+			signed, err = z.Sign(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("testbed: signing %s: %w", spec.Apex, err)
+			}
+			h.Zones[spec.Apex] = signed
+		}
+		if parent, ok := b.parentOf(spec.Apex); ok {
+			pz := raw[parent.Apex]
+			ns := spec.nsHost()
+			pz.MustAdd(dnswire.RR{Name: spec.Apex, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.NS{Host: ns}})
+			if ns.IsSubdomainOf(spec.Apex) {
+				// In-bailiwick host: publish glue in the parent.
+				pz.MustAdd(dnswire.RR{Name: ns, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.A{Addr: spec.Server.Addr()}})
+				if spec.ServerV6.IsValid() {
+					pz.MustAdd(dnswire.RR{Name: ns, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.AAAA{Addr: spec.ServerV6.Addr()}})
+				}
+			}
+			if signed != nil {
+				ds, err := signed.DSForChild()
+				if err != nil {
+					return nil, err
+				}
+				pz.MustAdd(dnswire.RR{Name: spec.Apex, Class: dnswire.ClassIN, TTL: 3600, Data: ds})
+			}
+		}
+	}
+
+	// Third pass: attach zones to servers and register on the network.
+	for _, spec := range order {
+		srv, ok := h.Servers[spec.Server]
+		if !ok {
+			srv = authserver.New()
+			srv.Log = h.Log
+			h.Servers[spec.Server] = srv
+			net.Register(spec.Server, srv)
+			if spec.ServerV6.IsValid() {
+				net.Register(spec.ServerV6, srv)
+			}
+		} else if spec.ServerV6.IsValid() {
+			net.Register(spec.ServerV6, srv)
+		}
+		if signed, ok := h.Zones[spec.Apex]; ok {
+			srv.AddZone(signed)
+		} else {
+			// Serve the unsigned zone without any DNSSEC material:
+			// no DNSKEYs, no RRSIGs, no denial records.
+			unsigned, err := raw[spec.Apex].Sign(zone.SignConfig{Denial: zone.DenialNone})
+			if err != nil {
+				return nil, fmt.Errorf("testbed: serving unsigned %s: %w", spec.Apex, err)
+			}
+			srv.AddZone(unsigned)
+		}
+	}
+
+	rootSigned := h.Zones[dnswire.Root]
+	if rootSigned == nil {
+		return nil, fmt.Errorf("testbed: root must be signed")
+	}
+	ds, err := rootSigned.DSForChild()
+	if err != nil {
+		return nil, err
+	}
+	h.TrustAnchor = []dnswire.DS{ds}
+	h.Roots = []netip.AddrPort{rootSpec.Server}
+	if rootSpec.ServerV6.IsValid() {
+		h.Roots = append(h.Roots, rootSpec.ServerV6)
+	}
+	return h, nil
+}

@@ -1,0 +1,348 @@
+package zone
+
+import (
+	"fmt"
+
+	"repro/internal/dnswire"
+	"repro/internal/nsec3"
+)
+
+// AnswerKind classifies the outcome of a query against a signed zone.
+type AnswerKind int
+
+// Answer kinds.
+const (
+	KindSuccess    AnswerKind = iota // data exists at qname/qtype
+	KindWildcard                     // data synthesized from a wildcard
+	KindNODATA                       // name exists, type does not
+	KindNXDOMAIN                     // name does not exist
+	KindDelegation                   // referral to a child zone
+	KindCNAME                        // alias present at qname
+	KindNotInZone                    // qname outside this zone
+)
+
+// String returns the kind name.
+func (k AnswerKind) String() string {
+	switch k {
+	case KindSuccess:
+		return "SUCCESS"
+	case KindWildcard:
+		return "WILDCARD"
+	case KindNODATA:
+		return "NODATA"
+	case KindNXDOMAIN:
+		return "NXDOMAIN"
+	case KindDelegation:
+		return "DELEGATION"
+	case KindCNAME:
+		return "CNAME"
+	}
+	return "NOTINZONE"
+}
+
+// Answer is the evaluated response content for one query.
+type Answer struct {
+	Kind       AnswerKind
+	RCode      dnswire.RCode
+	Answer     []dnswire.RR
+	Authority  []dnswire.RR
+	Additional []dnswire.RR
+}
+
+// Evaluate answers (qname, qtype) against the signed zone, following
+// RFC 1034 §4.3.2 adapted for DNSSEC (RFC 4035 §3.1) and NSEC3
+// (RFC 5155 §7.2). When do is false, DNSSEC records (RRSIG, NSEC,
+// NSEC3) are omitted, as for a query without the DO bit.
+func (s *Signed) Evaluate(qname dnswire.Name, qtype dnswire.Type, do bool) (*Answer, error) {
+	if !qname.IsSubdomainOf(s.Zone.Apex) {
+		return &Answer{Kind: KindNotInZone, RCode: dnswire.RCodeRefused}, nil
+	}
+
+	// Delegation handling: a query at or below a zone cut is referred,
+	// except a DS query exactly at the cut, which the parent answers.
+	if cut, ok := s.Zone.DelegationPoint(qname); ok {
+		if !(qname == cut && qtype == dnswire.TypeDS) {
+			return s.referral(cut, do)
+		}
+	}
+
+	if s.Exists(qname) {
+		return s.answerExisting(qname, qname, qtype, do, false)
+	}
+
+	// Wildcard synthesis (RFC 4592).
+	if w, ok := s.Zone.WildcardAt(qname); ok {
+		return s.answerExisting(w, qname, qtype, do, true)
+	}
+
+	return s.nxdomain(qname, do)
+}
+
+// answerExisting answers from records at owner; when wildcard is true,
+// owner is the "*" node and qname the synthesized name.
+func (s *Signed) answerExisting(owner, qname dnswire.Name, qtype dnswire.Type, do, wildcard bool) (*Answer, error) {
+	rrs := s.Zone.Lookup(owner, qtype)
+	if len(rrs) == 0 {
+		// CNAME redirection applies for any type but CNAME itself.
+		if cn := s.Zone.Lookup(owner, dnswire.TypeCNAME); len(cn) > 0 && qtype != dnswire.TypeCNAME {
+			a := &Answer{Kind: KindCNAME, RCode: dnswire.RCodeNoError}
+			a.Answer = s.expand(cn, qname, wildcard)
+			if do {
+				a.Answer = append(a.Answer, s.expand(s.RRSIGsFor(owner, dnswire.TypeCNAME), qname, wildcard)...)
+				if wildcard {
+					if err := s.appendWildcardProof(a, qname); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return a, nil
+		}
+		return s.nodata(owner, qname, do, wildcard)
+	}
+	kind := KindSuccess
+	if wildcard {
+		kind = KindWildcard
+	}
+	a := &Answer{Kind: kind, RCode: dnswire.RCodeNoError}
+	a.Answer = s.expand(rrs, qname, wildcard)
+	if do {
+		a.Answer = append(a.Answer, s.expand(s.RRSIGsFor(owner, qtype), qname, wildcard)...)
+		if wildcard {
+			if err := s.appendWildcardProof(a, qname); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+// expand rewrites the owner name of wildcard records to the query name.
+func (s *Signed) expand(rrs []dnswire.RR, qname dnswire.Name, wildcard bool) []dnswire.RR {
+	out := make([]dnswire.RR, len(rrs))
+	copy(out, rrs)
+	if wildcard {
+		for i := range out {
+			out[i].Name = qname
+		}
+	}
+	return out
+}
+
+// appendWildcardProof attaches the denial record proving qname itself
+// does not exist, which legitimizes the wildcard expansion.
+func (s *Signed) appendWildcardProof(a *Answer, qname dnswire.Name) error {
+	switch s.Config.Denial {
+	case DenialNSEC3:
+		proof, err := s.chain.ProveWildcard(qname, s.Exists)
+		if err != nil {
+			return err
+		}
+		s.appendNSEC3Proof(a, proof)
+	default:
+		if rr, ok := s.nsecCovering(qname); ok {
+			a.Authority = append(a.Authority, rr)
+			a.Authority = append(a.Authority, s.RRSIGsFor(rr.Name, dnswire.TypeNSEC)...)
+		}
+	}
+	return nil
+}
+
+// nodata builds a NOERROR/empty-answer response with its proof.
+func (s *Signed) nodata(owner, qname dnswire.Name, do, wildcard bool) (*Answer, error) {
+	a := &Answer{Kind: KindNODATA, RCode: dnswire.RCodeNoError}
+	s.appendSOA(a, do)
+	if !do {
+		return a, nil
+	}
+	switch s.Config.Denial {
+	case DenialNSEC3:
+		proof, err := s.chain.ProveNODATA(owner)
+		if err != nil {
+			if s.Config.OptOut && !wildcard {
+				// Opt-out zones own no NSEC3 for insecure delegations:
+				// deny DS with the closest-provable-encloser proof of
+				// RFC 5155 §7.2.4 instead.
+				if p2, err2 := s.proveOptOutNoDS(owner); err2 == nil {
+					s.appendNSEC3Proof(a, p2)
+					return a, nil
+				}
+			}
+			if !wildcard {
+				return nil, fmt.Errorf("zone: NODATA proof for %s: %w", owner, err)
+			}
+			// Wildcard NODATA (RFC 5155 §7.2.5): closest-encloser proof
+			// plus the NSEC3 matching the wildcard.
+			ceProof, err := s.chain.ProveNXDOMAIN(qname, s.Exists)
+			if err != nil {
+				return nil, err
+			}
+			s.appendNSEC3Proof(a, ceProof)
+			proof, err = s.chain.ProveNODATA(owner)
+			if err != nil {
+				return nil, err
+			}
+		}
+		s.appendNSEC3Proof(a, proof)
+		if wildcard {
+			ce, nc, err := nsec3.ClosestEncloser(qname, s.Zone.Apex, s.Exists)
+			if err == nil {
+				_ = ce
+				if rec, ok, _ := s.chain.Cover(nc); ok {
+					s.appendNSEC3Proof(a, nsec3.Proof{NextCloser: &rec})
+				}
+			}
+		}
+	default:
+		if rr, ok := s.NSECRecord(owner); ok {
+			a.Authority = append(a.Authority, rr)
+			a.Authority = append(a.Authority, s.RRSIGsFor(owner, dnswire.TypeNSEC)...)
+		}
+	}
+	return a, nil
+}
+
+// proveOptOutNoDS synthesizes the RFC 5155 §7.2.4 proof for an
+// insecure delegation excluded from an opt-out chain: the NSEC3
+// matching the closest provable encloser plus the opt-out span
+// covering the next-closer name.
+func (s *Signed) proveOptOutNoDS(owner dnswire.Name) (nsec3.Proof, error) {
+	nextCloser := owner
+	for cand := owner.Parent(); ; cand = cand.Parent() {
+		if rec, ok, err := s.chain.Match(cand); err == nil && ok {
+			var p nsec3.Proof
+			p.ClosestEncloser = &rec
+			if cov, ok, err := s.chain.Cover(nextCloser); err == nil && ok {
+				p.NextCloser = &cov
+				return p, nil
+			}
+			return nsec3.Proof{}, fmt.Errorf("zone: next closer %s not covered", nextCloser)
+		}
+		if cand == s.Zone.Apex || cand.IsRoot() {
+			return nsec3.Proof{}, fmt.Errorf("zone: no provable encloser for %s", owner)
+		}
+		nextCloser = cand
+	}
+}
+
+// nxdomain builds the NXDOMAIN response with the closest-encloser proof.
+func (s *Signed) nxdomain(qname dnswire.Name, do bool) (*Answer, error) {
+	a := &Answer{Kind: KindNXDOMAIN, RCode: dnswire.RCodeNXDomain}
+	s.appendSOA(a, do)
+	if !do {
+		return a, nil
+	}
+	switch s.Config.Denial {
+	case DenialNSEC3:
+		proof, err := s.chain.ProveNXDOMAIN(qname, s.Exists)
+		if err != nil {
+			return nil, fmt.Errorf("zone: NXDOMAIN proof for %s: %w", qname, err)
+		}
+		s.appendNSEC3Proof(a, proof)
+	default:
+		if rr, ok := s.nsecCovering(qname); ok {
+			a.Authority = append(a.Authority, rr)
+			a.Authority = append(a.Authority, s.RRSIGsFor(rr.Name, dnswire.TypeNSEC)...)
+		}
+		// Prove the wildcard absent too (RFC 4035 §3.1.3.2).
+		ce := qname.Parent()
+		for !s.Exists(ce) && ce != s.Zone.Apex {
+			ce = ce.Parent()
+		}
+		if rr, ok := s.nsecCovering(ce.Wildcard()); ok {
+			already := false
+			for _, have := range a.Authority {
+				if have.Name == rr.Name && have.Type() == dnswire.TypeNSEC {
+					already = true
+					break
+				}
+			}
+			if !already {
+				a.Authority = append(a.Authority, rr)
+				a.Authority = append(a.Authority, s.RRSIGsFor(rr.Name, dnswire.TypeNSEC)...)
+			}
+		}
+	}
+	return a, nil
+}
+
+// referral builds a delegation response for the zone cut.
+func (s *Signed) referral(cut dnswire.Name, do bool) (*Answer, error) {
+	a := &Answer{Kind: KindDelegation, RCode: dnswire.RCodeNoError}
+	nsRRs := s.Zone.Lookup(cut, dnswire.TypeNS)
+	a.Authority = append(a.Authority, nsRRs...)
+	// Glue below the cut.
+	for _, ns := range nsRRs {
+		host := ns.Data.(dnswire.NS).Host
+		if host.IsSubdomainOf(cut) {
+			a.Additional = append(a.Additional, s.Zone.Lookup(host, dnswire.TypeA)...)
+			a.Additional = append(a.Additional, s.Zone.Lookup(host, dnswire.TypeAAAA)...)
+		}
+	}
+	if !do {
+		return a, nil
+	}
+	if ds := s.Zone.Lookup(cut, dnswire.TypeDS); len(ds) > 0 {
+		a.Authority = append(a.Authority, ds...)
+		a.Authority = append(a.Authority, s.RRSIGsFor(cut, dnswire.TypeDS)...)
+		return a, nil
+	}
+	// Insecure delegation: prove DS absence.
+	switch s.Config.Denial {
+	case DenialNSEC3:
+		if s.Config.OptOut {
+			// The cut owns no NSEC3; the covering record with Opt-Out
+			// set proves the span may contain unsigned delegations
+			// (RFC 5155 §7.2.4).
+			if rec, ok, err := s.chain.Cover(cut); err == nil && ok {
+				s.appendNSEC3Proof(a, nsec3.Proof{NextCloser: &rec})
+			} else if rec, ok, err := s.chain.Match(cut); err == nil && ok {
+				s.appendNSEC3Proof(a, nsec3.Proof{Matching: &rec})
+			}
+		} else {
+			proof, err := s.chain.ProveNODATA(cut)
+			if err != nil {
+				return nil, err
+			}
+			s.appendNSEC3Proof(a, proof)
+		}
+	default:
+		if rr, ok := s.NSECRecord(cut); ok {
+			a.Authority = append(a.Authority, rr)
+			a.Authority = append(a.Authority, s.RRSIGsFor(cut, dnswire.TypeNSEC)...)
+		}
+	}
+	return a, nil
+}
+
+// appendSOA attaches the apex SOA (and its RRSIG when do) to the
+// authority section, as negative answers require (RFC 2308 §3).
+func (s *Signed) appendSOA(a *Answer, do bool) {
+	soaRRs := s.Zone.Lookup(s.Zone.Apex, dnswire.TypeSOA)
+	for _, rr := range soaRRs {
+		rr.TTL = min(rr.TTL, s.negTTL)
+		a.Authority = append(a.Authority, rr)
+	}
+	if do {
+		a.Authority = append(a.Authority, s.RRSIGsFor(s.Zone.Apex, dnswire.TypeSOA)...)
+	}
+}
+
+// appendNSEC3Proof attaches the proof records and their RRSIGs to the
+// authority section, deduplicating repeated NSEC3 owners.
+func (s *Signed) appendNSEC3Proof(a *Answer, proof nsec3.Proof) {
+	for _, rec := range proof.Records() {
+		rr := s.chain.RRFor(rec, s.negTTL)
+		dup := false
+		for _, have := range a.Authority {
+			if have.Name == rr.Name && have.Type() == dnswire.TypeNSEC3 {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		a.Authority = append(a.Authority, rr)
+		a.Authority = append(a.Authority, s.RRSIGsFor(rr.Name, dnswire.TypeNSEC3)...)
+	}
+}
