@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# ci.sh — the full local CI pipeline, mirrored by .github/workflows/ci.yml.
+# Every leg must pass before a PR merges:
+#   build, vet, race-enabled tests, a short fuzz pass over the wire
+#   codec and NSEC3 hash, and the project's own static-analysis suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== test (-race) =="
+go test -race ./...
+
+echo "== fuzz (5s per target) =="
+go test -run='^$' -fuzz=FuzzDecodeMessage -fuzztime=5s ./internal/dnswire/
+go test -run='^$' -fuzz=FuzzDecodeName -fuzztime=5s ./internal/dnswire/
+go test -run='^$' -fuzz=FuzzHash -fuzztime=5s ./internal/nsec3/
+
+echo "== reprolint =="
+go run ./cmd/reprolint ./...
+
+echo "CI: all legs passed"

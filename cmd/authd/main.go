@@ -91,7 +91,7 @@ func run() error {
 			return err
 		}
 		z, err := zone.ParseMaster(f, apex, 300)
-		f.Close()
+		_ = f.Close() // read-only handle; parse errors are surfaced below
 		if err != nil {
 			return err
 		}

@@ -84,6 +84,8 @@ func run() error {
 	err = s.ScanAll(context.Background(), domains, func(r scanner.Result) {
 		mu.Lock()
 		defer mu.Unlock()
+		// A failed encode can only mean stdout is gone; the final Flush
+		// below reports it once instead of once per result.
 		_ = scanner.Encode(out, r)
 		if r.Err == nil {
 			agg.Add(compliance.Classify(r.Facts))
@@ -92,7 +94,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	out.Flush()
+	if err := out.Flush(); err != nil {
+		return fmt.Errorf("writing results: %w", err)
+	}
 	fmt.Fprintf(os.Stderr,
 		"nsec3scan: %d domains; %d DNSSEC-enabled (%.1f %%); %d NSEC3-enabled (%.1f %% of DNSSEC); "+
 			"Item 2 OK %.1f %%, Item 3 OK %.1f %%, both %.1f %% of NSEC3-enabled\n",

@@ -1,0 +1,72 @@
+// Command reprolint runs the project's static-analysis suite
+// (internal/lint) over the packages matched by its arguments.
+//
+// Usage:
+//
+//	go run ./cmd/reprolint [-json] [-exclude path,path] [patterns...]
+//
+// Patterns default to ./... . The exit status is 0 when no diagnostic
+// survives suppression, 1 when findings remain, and 2 on load errors.
+//
+// Suppression: -exclude takes a comma-separated list of path fragments;
+// a diagnostic whose file path contains any fragment is dropped. This
+// is deliberately coarse — per-finding waivers belong in the code as
+// justification comments (errdiscard) or named constants (rfcconst),
+// not in driver flags.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reprolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	exclude := fs.String("exclude", "", "comma-separated path fragments; matching files are suppressed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	diags = lint.Suppress(diags, lint.ParseExcludes(*exclude))
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(lint.ToJSON(diags)); err != nil {
+			fmt.Fprintln(stderr, "reprolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "reprolint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunJSONClean drives the real loader over a package that is clean
+// on the final tree and pins the -json contract: exit 0 and a JSON
+// array (empty, not null).
+func TestRunJSONClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "../../internal/nsec3"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d, stderr: %s", code, stderr.String())
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if diags == nil {
+		t.Fatal("clean run encoded as null, want []")
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected no findings in internal/nsec3, got %v", diags)
+	}
+}
+
+// TestRunSuppression exercises the -exclude plumbing end to end; the
+// suppression semantics themselves are pinned by the internal/lint
+// Suppress tests against synthetic diagnostics.
+func TestRunSuppression(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exclude", "internal/nsec3", "../../internal/nsec3"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d, stderr: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("expected no output, got %s", stdout.String())
+	}
+}

@@ -1,0 +1,74 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// fuzzSeedMessages packs a few representative messages so the fuzzer
+// starts from structurally valid wire data instead of pure noise.
+func fuzzSeedMessages(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+	q := &Message{
+		Header:    Header{ID: 0x1234, RecursionDesired: true},
+		Questions: []Question{{Name: MustParseName("example.com"), Type: TypeNSEC3PARAM, Class: ClassIN}},
+	}
+	if wire, err := q.Pack(); err == nil {
+		seeds = append(seeds, wire)
+	}
+	resp := &Message{
+		Header:    Header{ID: 0x1234, Response: true, Authoritative: true},
+		Questions: []Question{{Name: MustParseName("example.com"), Type: TypeA, Class: ClassIN}},
+		Answers: []RR{
+			{Name: MustParseName("example.com"), Class: ClassIN, TTL: 300, Data: A{Addr: netip.MustParseAddr("192.0.2.1")}},
+			{Name: MustParseName("example.com"), Class: ClassIN, Data: NSEC3PARAM{HashAlg: NSEC3HashSHA1, Iterations: 10, Salt: []byte{0xAA, 0xBB}}},
+		},
+	}
+	if wire, err := resp.Pack(); err == nil {
+		seeds = append(seeds, wire)
+	}
+	return seeds
+}
+
+// FuzzDecodeMessage asserts the codec's core robustness contract: no
+// input, however malformed, may panic the decoder, and any message it
+// accepts must survive re-encoding.
+func FuzzDecodeMessage(f *testing.F) {
+	for _, wire := range fuzzSeedMessages(f) {
+		f.Add(wire)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xC0}, 32)) // compression-pointer soup
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		if _, err := m.Pack(); err != nil {
+			t.Fatalf("accepted message failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeName targets the name decompressor directly, including
+// arbitrary (negative, huge) start offsets and pointer cycles.
+func FuzzDecodeName(f *testing.F) {
+	for _, wire := range fuzzSeedMessages(f) {
+		f.Add(wire, 12) // first name in a message starts after the header
+	}
+	f.Add([]byte{3, 'w', 'w', 'w', 0}, 0)
+	f.Add([]byte{0xC0, 0x00}, 0) // self-pointing compression pointer
+	f.Add([]byte{1, 'a', 0}, -5)
+	f.Fuzz(func(t *testing.T, data []byte, off int) {
+		name, _, err := readName(data, off)
+		if err != nil {
+			return
+		}
+		// A name the decoder accepts must be encodable again.
+		if got := name.AppendWire(nil); len(got) == 0 {
+			t.Fatalf("decoded name %q re-encoded to nothing", name)
+		}
+	})
+}

@@ -37,7 +37,7 @@ func (h Header) flags() uint16 {
 	if h.Response {
 		f |= flagQR
 	}
-	f |= uint16(h.Opcode&0xF) << 11
+	f |= uint16(h.Opcode&OpcodeMask) << 11
 	if h.Authoritative {
 		f |= flagAA
 	}
@@ -56,21 +56,21 @@ func (h Header) flags() uint16 {
 	if h.CheckingDisabled {
 		f |= flagCD
 	}
-	f |= uint16(h.RCode & 0xF)
+	f |= uint16(h.RCode & RCodeMask)
 	return f
 }
 
 func headerFromFlags(f uint16) Header {
 	return Header{
 		Response:           f&flagQR != 0,
-		Opcode:             Opcode(f >> 11 & 0xF),
+		Opcode:             Opcode(f>>11) & OpcodeMask,
 		Authoritative:      f&flagAA != 0,
 		Truncated:          f&flagTC != 0,
 		RecursionDesired:   f&flagRD != 0,
 		RecursionAvailable: f&flagRA != 0,
 		AuthenticatedData:  f&flagAD != 0,
 		CheckingDisabled:   f&flagCD != 0,
-		RCode:              RCode(f & 0xF),
+		RCode:              RCode(f) & RCodeMask,
 	}
 }
 
@@ -143,7 +143,7 @@ func (m *Message) ExtendedRCode() RCode {
 // SetExtendedRCode splits rc into the header and OPT high bits. If rc
 // needs more than 4 bits and no OPT is present, an OPT is added.
 func (m *Message) SetExtendedRCode(rc RCode) {
-	m.Header.RCode = rc & 0xF
+	m.Header.RCode = rc & RCodeMask
 	high := uint8(rc >> 4)
 	o, ok := m.OPT()
 	if !ok {

@@ -330,7 +330,7 @@ func readName(msg []byte, off int) (Name, int, error) {
 	end := -1       // offset to return (set at first pointer)
 	wireLen := 1
 	for {
-		if off >= len(msg) {
+		if off < 0 || off >= len(msg) {
 			return "", 0, ErrNameTrunc
 		}
 		c := msg[off]

@@ -518,11 +518,14 @@ func parseDNSKEY(d *decoder) (RData, error) {
 	if r.Flags, err = d.u16(); err != nil {
 		return nil, err
 	}
-	var b []byte
-	if b, err = d.bytes(2); err != nil {
+	if r.Protocol, err = d.u8(); err != nil {
 		return nil, err
 	}
-	r.Protocol, r.Algorithm = b[0], SecAlgorithm(b[1])
+	alg, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	r.Algorithm = SecAlgorithm(alg)
 	r.PublicKey, err = d.bytes(d.end - d.off)
 	return r, err
 }
@@ -534,11 +537,14 @@ func parseRRSIG(d *decoder) (RData, error) {
 		return nil, err
 	}
 	r.TypeCovered = Type(tc)
-	b, err := d.bytes(2)
+	alg, err := d.u8()
 	if err != nil {
 		return nil, err
 	}
-	r.Algorithm, r.Labels = SecAlgorithm(b[0]), b[1]
+	r.Algorithm = SecAlgorithm(alg)
+	if r.Labels, err = d.u8(); err != nil {
+		return nil, err
+	}
 	if r.OrigTTL, err = d.u32(); err != nil {
 		return nil, err
 	}
@@ -564,11 +570,16 @@ func parseDS(d *decoder) (RData, error) {
 	if r.KeyTag, err = d.u16(); err != nil {
 		return nil, err
 	}
-	b, err := d.bytes(2)
+	alg, err := d.u8()
 	if err != nil {
 		return nil, err
 	}
-	r.Algorithm, r.DigestType = SecAlgorithm(b[0]), DigestType(b[1])
+	r.Algorithm = SecAlgorithm(alg)
+	dt, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	r.DigestType = DigestType(dt)
 	r.Digest, err = d.bytes(d.end - d.off)
 	return r, err
 }
@@ -589,11 +600,14 @@ func parseNSEC(d *decoder) (RData, error) {
 
 func parseNSEC3(d *decoder) (RData, error) {
 	var r NSEC3
-	b, err := d.bytes(2)
+	alg, err := d.u8()
 	if err != nil {
 		return nil, err
 	}
-	r.HashAlg, r.Flags = NSEC3HashAlg(b[0]), b[1]
+	r.HashAlg = NSEC3HashAlg(alg)
+	if r.Flags, err = d.u8(); err != nil {
+		return nil, err
+	}
 	if r.Iterations, err = d.u16(); err != nil {
 		return nil, err
 	}
@@ -613,11 +627,14 @@ func parseNSEC3(d *decoder) (RData, error) {
 
 func parseNSEC3PARAM(d *decoder) (RData, error) {
 	var r NSEC3PARAM
-	b, err := d.bytes(2)
+	alg, err := d.u8()
 	if err != nil {
 		return nil, err
 	}
-	r.HashAlg, r.Flags = NSEC3HashAlg(b[0]), b[1]
+	r.HashAlg = NSEC3HashAlg(alg)
+	if r.Flags, err = d.u8(); err != nil {
+		return nil, err
+	}
 	if r.Iterations, err = d.u16(); err != nil {
 		return nil, err
 	}

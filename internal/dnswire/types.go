@@ -104,6 +104,10 @@ const (
 	RCodeNXDomain RCode = 3
 	RCodeNotImp   RCode = 4
 	RCodeRefused  RCode = 5
+
+	// RCodeMask selects the 4 header bits of an RCODE; the high bits
+	// travel in the OPT TTL field (RFC 6891 §6.1.3).
+	RCodeMask RCode = 0xF
 )
 
 var rcodeNames = map[RCode]string{
@@ -131,6 +135,9 @@ const (
 	OpcodeQuery  Opcode = 0
 	OpcodeNotify Opcode = 4
 	OpcodeUpdate Opcode = 5
+
+	// OpcodeMask selects the 4-bit OPCODE header field (RFC 1035 §4.1.1).
+	OpcodeMask Opcode = 0xF
 )
 
 // String returns the opcode mnemonic.

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CopyLockAnalyzer flags by-value copies of types that transitively
+// contain a sync.Mutex, sync.RWMutex, or sync.WaitGroup. A copied lock
+// is a fresh, unlocked lock: the copy silently stops synchronizing with
+// the original, which under the scanner's worker pools turns into data
+// races that -race only catches when the schedule cooperates. Reported
+// shapes:
+//
+//   - method receivers, parameters, and results declared by value with
+//     a lock-bearing type;
+//   - assignments that read a lock-bearing value out of a variable,
+//     field, index, or dereference (composite literals and function
+//     calls construct fresh values and are fine);
+//   - range clauses whose value variable copies a lock-bearing element.
+var CopyLockAnalyzer = &Analyzer{
+	Name: "copylock",
+	Doc: "flag by-value copies of structs transitively containing " +
+		"sync.Mutex, sync.RWMutex, or sync.WaitGroup",
+	Run: runCopyLock,
+}
+
+func runCopyLock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkFieldList(pass, n.Recv, "receiver")
+				}
+				if n.Type.Params != nil {
+					checkFieldList(pass, n.Type.Params, "parameter")
+				}
+				if n.Type.Results != nil {
+					checkFieldList(pass, n.Type.Results, "result")
+				}
+			case *ast.FuncLit:
+				if n.Type.Params != nil {
+					checkFieldList(pass, n.Type.Params, "parameter")
+				}
+				if n.Type.Results != nil {
+					checkFieldList(pass, n.Type.Results, "result")
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldList reports lock-bearing by-value entries of a receiver,
+// parameter, or result list.
+func checkFieldList(pass *Pass, fl *ast.FieldList, kind string) {
+	for _, field := range fl.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if lock := lockPath(t); lock != "" {
+			pass.Reportf(field.Type.Pos(), "by-value %s of type %s copies %s; use a pointer", kind, t.String(), lock)
+		}
+	}
+}
+
+// checkAssign reports assignments whose RHS reads a lock-bearing value
+// out of existing storage. Composite literals and calls construct new
+// values, so only identifier/selector/index/star reads copy a live lock.
+func checkAssign(pass *Pass, n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, rhs := range n.Rhs {
+		// Assigning to _ evaluates but does not retain a copy.
+		if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		expr := ast.Unparen(rhs)
+		switch expr.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue
+		}
+		t := pass.Info.TypeOf(expr)
+		if t == nil {
+			continue
+		}
+		if lock := lockPath(t); lock != "" {
+			pass.Reportf(rhs.Pos(), "assignment copies %s (value of type %s); take a pointer instead", lock, t.String())
+		}
+	}
+}
+
+// checkRange reports range value variables that copy a lock-bearing
+// element out of a slice, array, or map.
+func checkRange(pass *Pass, n *ast.RangeStmt) {
+	if n.Value == nil {
+		return
+	}
+	if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	t := pass.Info.TypeOf(n.Value)
+	if t == nil {
+		return
+	}
+	if lock := lockPath(t); lock != "" {
+		pass.Reportf(n.Value.Pos(), "range value copies %s (element type %s); range over indices or use pointers", lock, t.String())
+	}
+}
+
+// lockPath returns a human-readable path to the first lock found inside
+// t ("sync.Mutex", "field reg.mu (sync.RWMutex)"), or "" if t carries
+// no lock by value. Pointers, maps, slices, and channels stop the
+// search: copying a pointer to a lock is fine.
+func lockPath(t types.Type) string {
+	return findLock(t, map[types.Type]bool{})
+}
+
+func findLock(t types.Type, visited map[types.Type]bool) string {
+	if visited[t] {
+		return ""
+	}
+	visited[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup":
+				return "sync." + obj.Name()
+			}
+		}
+		return findLock(named.Underlying(), visited)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			inner := findLock(f.Type(), visited)
+			if inner == "" {
+				continue
+			}
+			if f.Embedded() {
+				return inner
+			}
+			if strings.HasPrefix(inner, "sync.") {
+				return "field " + f.Name() + " (" + inner + ")"
+			}
+			return "field " + f.Name() + "." + strings.TrimPrefix(inner, "field ")
+		}
+	case *types.Array:
+		return findLock(u.Elem(), visited)
+	}
+	return ""
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAnalyzer forbids nondeterminism sources in the synthetic
+// population and analysis layers. The paper's Table 2 / Figure 1
+// calibration is reproducible only if generation and aggregation are
+// pure functions of the configured seed, so inside the scoped packages
+// the analyzer reports:
+//
+//   - calls to time.Now / time.Since / time.Until (wall clock);
+//   - calls to package-level math/rand and math/rand/v2 functions,
+//     which draw from the global, non-seeded source (constructors like
+//     rand.New and rand.NewPCG are allowed — seeded streams are the
+//     sanctioned way to sample);
+//   - output that depends on map iteration order: inside a
+//     range-over-map, writing directly to an output sink or appending
+//     to a slice that is not sorted afterwards in the same block.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global rand-source draws, and " +
+		"map-iteration-order-dependent output in the deterministic " +
+		"population/analysis layers",
+	Packages:   []string{"internal/population", "internal/respop", "internal/analysis"},
+	ExtraFiles: []string{"internal/core/timeline.go"},
+	Run:        runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(call.Pos(), "call to time.%s leaks the wall clock into a deterministic layer; thread an explicit clock through the config", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(call.Pos(), "call to %s.%s draws from the global rand source; use a seeded *rand.Rand (rand.New(rand.NewPCG(seed, ...)))", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+		forEachStmtList(f, func(list []ast.Stmt) {
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				if t := pass.Info.TypeOf(rs.X); t == nil {
+					continue
+				} else if _, ok := t.Underlying().(*types.Map); !ok {
+					continue
+				}
+				checkMapRange(pass, rs, list[i+1:])
+			}
+		})
+	}
+}
+
+// forEachStmtList visits every statement list in the file (block
+// bodies, case clauses, comm clauses), giving callers successor
+// visibility within a list.
+func forEachStmtList(f *ast.File, fn func([]ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// checkMapRange inspects one range-over-map body. Direct writes to an
+// output sink are always order-dependent; appends are order-dependent
+// unless the target slice is sorted after the loop in the same
+// statement list. Pure accumulation (sums, building other maps/sets)
+// is order-insensitive and allowed, as are appends to variables
+// declared inside the loop body: a per-iteration local is rebuilt from
+// scratch each pass, so map order cannot leak through it.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, tail []ast.Stmt) {
+	type appendSite struct {
+		pos    ast.Node
+		target string
+	}
+	var appends []appendSite
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isOutputCall(pass.Info, n) {
+				pass.Reportf(n.Pos(), "output written inside range over map %s depends on map iteration order; collect and sort first", exprString(rs.X))
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || len(n.Lhs) != 1 {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+				return true
+			} else if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if declaredWithin(pass.Info, n.Lhs[0], rs) {
+				return true
+			}
+			appends = append(appends, appendSite{pos: n, target: exprString(n.Lhs[0])})
+		}
+		return true
+	})
+	for _, a := range appends {
+		if !sortedAfter(pass, a.target, tail) {
+			pass.Reportf(a.pos.Pos(), "append to %s inside range over map %s depends on map iteration order; sort %s afterwards (or range over sorted keys)", a.target, exprString(rs.X), a.target)
+		}
+	}
+}
+
+// declaredWithin reports whether the root variable of expr (the base
+// identifier under any selectors, indexes, or dereferences) is declared
+// inside the range statement's extent.
+func declaredWithin(info *types.Info, expr ast.Expr, rs *ast.RangeStmt) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			obj := info.ObjectOf(e)
+			return obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
+		default:
+			return false
+		}
+	}
+}
+
+// isOutputCall reports whether the call writes to an output sink:
+// a fmt print function or a Write*/print method on any receiver.
+func isOutputCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether some statement in tail calls a sort or
+// slices package function with target as an argument.
+func sortedAfter(pass *Pass, target string, tail []ast.Stmt) bool {
+	for _, stmt := range tail {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if exprString(arg) == target {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

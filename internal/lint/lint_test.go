@@ -1,0 +1,134 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// The golden tests type-check each testdata/src/<analyzer> fixture
+// under a fake import path chosen so the analyzer's package scoping
+// applies, run the single analyzer, and compare its diagnostics against
+// the fixture's `// want `regex`` comments analysistest-style: every
+// diagnostic must land on a line carrying a matching want, and every
+// want must be hit.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		analyzer *lint.Analyzer
+		dir      string
+		pkgPath  string
+	}{
+		{lint.DeterminismAnalyzer, "determinism", "repro/internal/population"},
+		{lint.WireSafetyAnalyzer, "wiresafety", "repro/internal/dnswire"},
+		{lint.ErrDiscardAnalyzer, "errdiscard", "repro/internal/lintfixture"},
+		{lint.CopyLockAnalyzer, "copylock", "repro/internal/lintfixture"},
+		{lint.RFCConstAnalyzer, "rfcconst", "repro/internal/dnswire"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			runGolden(t, tc.analyzer, tc.dir, tc.pkgPath)
+		})
+	}
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+type wantDiag struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func runGolden(t *testing.T, analyzer *lint.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	srcDir := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	wants := map[string]map[int]*wantDiag{} // file -> line -> expectation
+	imported := map[string]bool{}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		path := filepath.Join(srcDir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			imported[p] = true
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if wants[pos.Filename] == nil {
+					wants[pos.Filename] = map[int]*wantDiag{}
+				}
+				wants[pos.Filename][pos.Line] = &wantDiag{re: regexp.MustCompile(m[1])}
+			}
+		}
+	}
+
+	conf := types.Config{}
+	if len(imported) > 0 {
+		var paths []string
+		for p := range imported {
+			paths = append(paths, p)
+		}
+		imp, err := lint.StdImporter(fset, paths...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conf.Importer = imp
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	pkg := &lint.Package{Path: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{analyzer})
+	for _, d := range diags {
+		w := wants[d.Pos.Filename][d.Pos.Line]
+		if w == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		if !w.re.MatchString(d.Message) {
+			t.Errorf("diagnostic at %s:%d does not match want %q: %s", d.Pos.Filename, d.Pos.Line, w.re, d.Message)
+			continue
+		}
+		w.matched = true
+	}
+	for file, byLine := range wants {
+		for line, w := range byLine {
+			if !w.matched {
+				t.Errorf("missing diagnostic: %s:%d want %q", file, line, w.re)
+			}
+		}
+	}
+}

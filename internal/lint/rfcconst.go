@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// RFCConstAnalyzer flags integer literals used where a named DNS
+// protocol constant exists: RR types, classes, rcodes, DNSSEC
+// algorithms, digest types, and the NSEC3 hash algorithm. A bare 50
+// where TypeNSEC3 is meant is unreviewable and fails silently when a
+// registry assignment is misremembered; the reproduction's compliance
+// tables (RFC 9276 guidance) are only as trustworthy as these numbers.
+//
+// The literal's *declared type* triggers the check: an untyped 50 used
+// as an int is fine, but a 50 converted to or compared against
+// dnswire.Type must be written TypeNSEC3. The two registry files that
+// define the constants are exempt, as are const declarations (defining
+// new protocol constants from numbers is the registry's job).
+var RFCConstAnalyzer = &Analyzer{
+	Name: "rfcconst",
+	Doc: "flag magic numbers typed as DNS registry enums (RR types, " +
+		"classes, rcodes, algorithms) outside the registry files",
+	ExemptFiles: []string{
+		"internal/dnswire/types.go",
+		"internal/compliance/guidelines.go",
+	},
+	Run: runRFCConst,
+}
+
+// rfcEnums maps the dnswire enum type names to value→constant tables
+// used for suggestion text. Values missing from a table still get
+// flagged — the point is the named type, not the table.
+var rfcEnums = map[string]map[int64]string{
+	"Type": {
+		1: "TypeA", 2: "TypeNS", 5: "TypeCNAME", 6: "TypeSOA", 12: "TypePTR",
+		15: "TypeMX", 16: "TypeTXT", 28: "TypeAAAA", 41: "TypeOPT", 43: "TypeDS",
+		46: "TypeRRSIG", 47: "TypeNSEC", 48: "TypeDNSKEY", 50: "TypeNSEC3",
+		51: "TypeNSEC3PARAM", 252: "TypeAXFR", 255: "TypeANY",
+	},
+	"Class": {1: "ClassIN", 254: "ClassNone", 255: "ClassANY"},
+	"RCode": {
+		0: "RCodeNoError", 1: "RCodeFormErr", 2: "RCodeServFail",
+		3: "RCodeNXDomain", 4: "RCodeNotImp", 5: "RCodeRefused",
+	},
+	"Opcode":       {0: "OpcodeQuery"},
+	"SecAlgorithm": {8: "AlgRSASHA256", 13: "AlgECDSAP256SHA256", 15: "AlgEd25519"},
+	"DigestType":   {1: "DigestSHA1", 2: "DigestSHA256", 4: "DigestSHA384"},
+	"NSEC3HashAlg": {1: "NSEC3HashSHA1"},
+}
+
+func runRFCConst(pass *Pass) {
+	for _, f := range pass.Files {
+		// Collect literals inside const declarations: the registry idiom
+		// (and iota arithmetic) is exempt wherever it appears.
+		inConst := map[*ast.BasicLit]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gd, ok := n.(*ast.GenDecl)
+			if !ok || gd.Tok.String() != "const" {
+				return true
+			}
+			ast.Inspect(gd, func(m ast.Node) bool {
+				if lit, ok := m.(*ast.BasicLit); ok {
+					inConst[lit] = true
+				}
+				return true
+			})
+			return false
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || inConst[lit] {
+				return true
+			}
+			tv, ok := pass.Info.Types[lit]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				return true
+			}
+			enum := dnswireEnumName(tv.Type)
+			if enum == "" {
+				return true
+			}
+			v, exact := constant.Int64Val(tv.Value)
+			if !exact || v == 0 {
+				return true // zero values (RCodeNoError, no flags) read fine bare
+			}
+			if name, ok := rfcEnums[enum][v]; ok {
+				pass.Reportf(lit.Pos(), "magic number %s used as dnswire.%s; write the named constant %s", lit.Value, enum, name)
+			} else {
+				pass.Reportf(lit.Pos(), "magic number %s used as dnswire.%s; define and use a named constant in internal/dnswire/types.go", lit.Value, enum)
+			}
+			return true
+		})
+	}
+}
+
+// dnswireEnumName returns the enum's type name when t is one of the
+// dnswire registry types, else "".
+func dnswireEnumName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pathSuffixMatch(obj.Pkg().Path(), "internal/dnswire") {
+		return ""
+	}
+	if _, ok := rfcEnums[obj.Name()]; ok {
+		return obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,64 @@
+package lint
+
+import "strings"
+
+// ParseExcludes splits a -exclude flag value into path fragments,
+// dropping empties so "a,,b," behaves like "a,b".
+func ParseExcludes(flagValue string) []string {
+	var out []string
+	for _, part := range strings.Split(flagValue, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// Suppress drops diagnostics whose file path contains any of the
+// exclude fragments. Matching is substring-based: "internal/netsim"
+// suppresses the whole package, "rdata.go" one file.
+func Suppress(diags []Diagnostic, excludes []string) []Diagnostic {
+	if len(excludes) == 0 {
+		return diags
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, ex := range excludes {
+			if strings.Contains(d.Pos.Filename, ex) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// JSONDiagnostic is the stable -json output shape of one finding.
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// ToJSON converts diagnostics to the -json wire shape. The result is
+// never nil, so empty runs encode as [] rather than null.
+func ToJSON(diags []Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+// Package copylock is a golden-file fixture for the copylock analyzer
+// (which runs on every package).
+package copylock
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+type nested struct {
+	reg registry
+}
+
+type plain struct {
+	items map[string]int
+}
+
+func byValueParam(r registry) int { // want `by-value parameter of type .*registry copies field mu \(sync\.Mutex\)`
+	return len(r.items)
+}
+
+func byValueNested(n nested) int { // want `by-value parameter of type .*nested copies field reg`
+	return len(n.reg.items)
+}
+
+func byValueResult() (r registry) { // want `by-value result of type .*registry copies field mu`
+	return
+}
+
+func (r registry) byValueRecv() int { // want `by-value receiver of type .*registry copies field mu`
+	return len(r.items)
+}
+
+// pointerParam is a near miss: pointers do not copy the lock.
+func pointerParam(r *registry) int {
+	return len(r.items)
+}
+
+// plainParam is a near miss: no lock anywhere in the type.
+func plainParam(p plain) int {
+	return len(p.items)
+}
+
+func assignCopy(src *registry) {
+	dst := *src // want `assignment copies field mu \(sync\.Mutex\)`
+	_ = dst
+}
+
+func fieldCopy(n *nested) {
+	r := n.reg // want `assignment copies field mu \(sync\.Mutex\)`
+	_ = r
+}
+
+// literalInit is a near miss: a composite literal constructs a fresh
+// value, it does not copy a live lock (and the constructor hands it
+// out by pointer).
+func literalInit() *registry {
+	r := registry{items: map[string]int{}}
+	return &r
+}
+
+// waitGroupCopy catches the third lock type.
+func waitGroupCopy(wg *sync.WaitGroup) {
+	local := *wg // want `assignment copies sync\.WaitGroup`
+	_ = local
+}
+
+func rangeCopy(rs []registry) int {
+	n := 0
+	for _, r := range rs { // want `range value copies field mu \(sync\.Mutex\)`
+		n += len(r.items)
+	}
+	return n
+}
+
+// rangeIndex is a near miss: ranging over indices copies nothing.
+func rangeIndex(rs []registry) int {
+	n := 0
+	for i := range rs {
+		n += len(rs[i].items)
+	}
+	return n
+}

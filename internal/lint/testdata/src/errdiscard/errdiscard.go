@@ -1,0 +1,75 @@
+// Package errdiscard is a golden-file fixture for the errdiscard
+// analyzer (which runs on every package, so the import path is
+// irrelevant).
+package errdiscard
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func twoResults() (int, error) { return 0, nil }
+
+func bareCall() {
+	mayFail() // want `result of errdiscard\.mayFail includes an error that is dropped`
+}
+
+func bareMethod(f *os.File) {
+	f.Close() // want `result of Close includes an error that is dropped`
+}
+
+func blankNoComment() {
+	_ = mayFail() // want `error discarded with _ = and no justification comment`
+}
+
+func blankBoth() {
+	_, _ = twoResults() // want `error discarded with _ = and no justification comment`
+}
+
+// blankJustifiedSameLine is a near miss: the same-line comment waives it.
+func blankJustifiedSameLine() {
+	_ = mayFail() // fixture: failure here is unobservable
+}
+
+// blankJustifiedAbove is a near miss: the preceding-line comment waives it.
+func blankJustifiedAbove() {
+	// fixture: failure here is unobservable
+	_ = mayFail()
+}
+
+// keptValue is a near miss: x, _ keeps a value — a deliberate, visible
+// choice, not a silent drop.
+func keptValue() int {
+	x, _ := twoResults()
+	return x
+}
+
+// checked is a near miss: the error is handled.
+func checked() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// printFamily is a near miss: fmt print errors are vestigial.
+func printFamily() {
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "world\n")
+}
+
+// builder is a near miss: strings.Builder writes never fail.
+func builder() string {
+	var sb strings.Builder
+	sb.WriteString("x")
+	sb.WriteByte('y')
+	return sb.String()
+}
+
+// deferredClose is a near miss: defers are exempt by design.
+func deferredClose(f *os.File) {
+	defer f.Close()
+}

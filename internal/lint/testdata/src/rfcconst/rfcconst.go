@@ -1,0 +1,57 @@
+// Package rfcconst is a golden-file fixture. It is type-checked under
+// the fake import path "repro/internal/dnswire" so the registry enum
+// types it declares look like the real ones; the analyzer keys on the
+// declaring package path, not the type identity.
+package rfcconst
+
+// Type is a stand-in for the dnswire RR-type registry enum.
+type Type uint16
+
+// RCode is a stand-in for the dnswire response-code enum.
+type RCode uint16
+
+// NSEC3HashAlg is a stand-in for the NSEC3 hash-algorithm enum.
+type NSEC3HashAlg uint8
+
+// Registry constants: const declarations are exempt everywhere — minting
+// named values from numbers is exactly what a registry does.
+const (
+	TypeNSEC3 Type         = 50
+	NSEC3SHA1 NSEC3HashAlg = 1
+)
+
+func magicVar() Type {
+	var t Type = 50 // want `magic number 50 used as dnswire\.Type; write the named constant TypeNSEC3`
+	return t
+}
+
+func magicCompare(t Type) bool {
+	return t == 47 // want `magic number 47 used as dnswire\.Type; write the named constant TypeNSEC`
+}
+
+func magicUnknown(r RCode) bool {
+	return r == 23 // want `magic number 23 used as dnswire\.RCode; define and use a named constant`
+}
+
+func magicHashAlg() NSEC3HashAlg {
+	var a NSEC3HashAlg
+	a = 1 // want `magic number 1 used as dnswire\.NSEC3HashAlg; write the named constant NSEC3HashSHA1`
+	return a
+}
+
+// namedUse is a near miss: the named constant is the required form.
+func namedUse() Type {
+	return TypeNSEC3
+}
+
+// zeroValue is a near miss: zero (NOERROR, no flags) reads fine bare.
+func zeroValue(r RCode) bool {
+	return r == 0
+}
+
+// untypedInt is a near miss: the same number typed as plain int is not
+// a protocol registry value.
+func untypedInt() int {
+	n := 50
+	return n
+}

@@ -1,0 +1,90 @@
+// Package wiresafety is a golden-file fixture, type-checked under the
+// fake import path "repro/internal/dnswire" so the wiresafety analyzer
+// treats it as in scope.
+package wiresafety
+
+type cursor struct {
+	msg []byte
+	off int
+	end int
+}
+
+func unguardedIndex(b []byte) byte {
+	return b[0] // want `index of wire buffer b is not dominated by a len\(b\) bounds guard`
+}
+
+func unguardedSlice(b []byte) []byte {
+	return b[2:] // want `slice of wire buffer b is not dominated by a len\(b\) bounds guard`
+}
+
+// guardedIndex is a near miss: the access is inside a len guard.
+func guardedIndex(b []byte) byte {
+	if len(b) > 0 {
+		return b[0]
+	}
+	return 0
+}
+
+// earlyExitGuard is a near miss: the codec idiom — a guard whose body
+// returns dominates the rest of the block.
+func earlyExitGuard(b []byte) byte {
+	if len(b) < 2 {
+		return 0
+	}
+	return b[1]
+}
+
+// wrongBuffer still leaks: the guard covers a, the access reads b.
+func wrongBuffer(a, b []byte) byte {
+	if len(a) < 2 {
+		return 0
+	}
+	return b[1] // want `index of wire buffer b is not dominated by a len\(b\) bounds guard`
+}
+
+// receiverGuard is a near miss: decoder-cursor fields compared in the
+// condition guard reads through the same receiver.
+func (c *cursor) receiverGuard() byte {
+	if c.off >= c.end {
+		return 0
+	}
+	return c.msg[c.off]
+}
+
+func (c *cursor) unguardedReceiver() byte {
+	return c.msg[c.off] // want `index of wire buffer c\.msg is not dominated by a len\(c\.msg\) bounds guard`
+}
+
+// lenDerived is a near miss: the index is pinned to len(b) by a
+// visible assignment.
+func lenDerived(b []byte) []byte {
+	off := len(b)
+	b = append(b, 0, 0)
+	b[off] = 1
+	return b
+}
+
+// rangeOver is a near miss: ranging over b bounds the index.
+func rangeOver(b []byte) int {
+	n := 0
+	for i := range b {
+		n += int(b[i])
+	}
+	return n
+}
+
+// resetSlice is a near miss: b[:0] cannot be out of bounds.
+func resetSlice(b []byte) []byte {
+	return b[:0]
+}
+
+// boundedSlice is a near miss: bounds mentioning len(b) are safe.
+func boundedSlice(b []byte) []byte {
+	return b[:len(b)/2]
+}
+
+// stringIndex is a near miss: strings are out of scope (the presentation
+// parser's idiom), only []byte wire buffers are checked.
+func stringIndex(s string) byte {
+	return s[0]
+}

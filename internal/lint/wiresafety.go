@@ -1,0 +1,395 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// WireSafetyAnalyzer flags indexing and slicing of []byte wire buffers
+// that is not dominated by a bounds guard. The DNS wire codec and the
+// NSEC3 hash layer parse attacker-controlled bytes; a single unguarded
+// read is a remote panic at measurement scale, exactly the parser
+// robustness class the NSEC3 CPU-exhaustion literature exploits.
+//
+// An index b[i] or slice b[i:j] of a []byte value is accepted when one
+// of these holds (the bounds-check idiom this codebase uses):
+//
+//   - a dominating if/for condition mentions len(b) — either guarding
+//     the access inside its body, or an early-exit guard (a body ending
+//     in return/break/continue/panic) earlier in the same block;
+//   - b is a field x.f and a dominating condition compares other
+//     cursor fields of the same receiver x (the decoder's
+//     "d.off+n > d.end" idiom, where d.end is pinned to len(d.msg));
+//   - the bound is derived from len(b) in a visible assignment
+//     (lenOff := len(e.buf); e.buf[lenOff] = ...), or mentions len(b)
+//     directly;
+//   - the access is inside a "for ... range b" loop over b itself;
+//   - every explicit slice bound is the constant 0 (b[:0] resets).
+//
+// Constant indexes such as b[0] are deliberately NOT accepted without a
+// guard: on truncated input they are exactly the panics fuzzing finds.
+// Arrays and strings are out of scope (fixed-size or guarded by the
+// string iteration idiom); only []byte — the wire buffer type — is
+// checked.
+var WireSafetyAnalyzer = &Analyzer{
+	Name: "wiresafety",
+	Doc: "flag indexing/slicing of []byte wire buffers not dominated " +
+		"by a len() bounds guard in the wire codec packages",
+	Packages: []string{"internal/dnswire", "internal/nsec3"},
+	Run:      runWireSafety,
+}
+
+func runWireSafety(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &wireWalker{pass: pass}
+			w.walkBlock(fd.Body.List, newGuardEnv())
+		}
+	}
+}
+
+// guardEnv is the set of bounds facts established by the statements
+// dominating the current program point.
+type guardEnv struct {
+	// guarded holds base-expression keys ("msg", "d.msg") and receiver
+	// keys ("recv:d") for which a dominating condition established a
+	// bound.
+	guarded map[string]bool
+	// lenDerived maps a base expression to the set of local variable
+	// names assigned from an expression involving len(base).
+	lenDerived map[string]map[string]bool
+}
+
+func newGuardEnv() *guardEnv {
+	return &guardEnv{guarded: map[string]bool{}, lenDerived: map[string]map[string]bool{}}
+}
+
+func (e *guardEnv) clone() *guardEnv {
+	c := newGuardEnv()
+	for k := range e.guarded {
+		c.guarded[k] = true
+	}
+	for base, vars := range e.lenDerived {
+		m := map[string]bool{}
+		for v := range vars {
+			m[v] = true
+		}
+		c.lenDerived[base] = m
+	}
+	return c
+}
+
+func (e *guardEnv) addGuards(keys []string) {
+	for _, k := range keys {
+		e.guarded[k] = true
+	}
+}
+
+func (e *guardEnv) markDerived(base, name string) {
+	if e.lenDerived[base] == nil {
+		e.lenDerived[base] = map[string]bool{}
+	}
+	e.lenDerived[base][name] = true
+}
+
+type wireWalker struct {
+	pass *Pass
+}
+
+// walkBlock processes a statement list in order. Guards established by
+// early-exit if statements extend to the remainder of the list, which
+// is how the codec's "if off >= len(msg) { return err }" idiom
+// dominates the reads below it.
+func (w *wireWalker) walkBlock(stmts []ast.Stmt, env *guardEnv) {
+	for _, s := range stmts {
+		w.walkStmt(s, env)
+	}
+}
+
+func (w *wireWalker) walkStmt(stmt ast.Stmt, env *guardEnv) {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, env)
+		}
+		w.checkExpr(s.Cond, env)
+		guards := w.condGuards(s.Cond)
+		bodyEnv := env.clone()
+		bodyEnv.addGuards(guards)
+		w.walkBlock(s.Body.List, bodyEnv)
+		if s.Else != nil {
+			elseEnv := env.clone()
+			elseEnv.addGuards(guards)
+			w.walkStmt(s.Else, elseEnv)
+		}
+		if terminates(s.Body) {
+			env.addGuards(guards)
+		}
+	case *ast.ForStmt:
+		loopEnv := env.clone()
+		if s.Init != nil {
+			w.walkStmt(s.Init, loopEnv)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, loopEnv)
+			loopEnv.addGuards(w.condGuards(s.Cond))
+		}
+		w.walkBlock(s.Body.List, loopEnv)
+		if s.Post != nil {
+			w.walkStmt(s.Post, loopEnv)
+		}
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, env)
+		bodyEnv := env.clone()
+		if w.isByteSlice(s.X) {
+			bodyEnv.guarded[exprString(s.X)] = true
+		}
+		w.walkBlock(s.Body.List, bodyEnv)
+	case *ast.BlockStmt:
+		w.walkBlock(s.List, env.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, env)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, env)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.checkExpr(e, env)
+			}
+			w.walkBlock(cc.Body, env.clone())
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, env)
+		}
+		for _, c := range s.Body.List {
+			w.walkBlock(c.(*ast.CaseClause).Body, env.clone())
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				w.walkStmt(cc.Comm, env.clone())
+			}
+			w.walkBlock(cc.Body, env.clone())
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, env)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, env)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, env)
+		}
+		w.recordLenDerived(s, env)
+	case *ast.DeclStmt:
+		w.checkExpr(s, env)
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				for i, name := range vs.Names {
+					for _, base := range w.lenBases(vs.Values[i], env) {
+						env.markDerived(base, name.Name)
+					}
+				}
+			}
+		}
+	default:
+		w.checkExpr(stmt, env)
+	}
+}
+
+// recordLenDerived marks LHS variables assigned from expressions that
+// pin them to len(base) for some []byte base.
+func (w *wireWalker) recordLenDerived(s *ast.AssignStmt, env *guardEnv) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		for _, base := range w.lenBases(s.Rhs[i], env) {
+			env.markDerived(base, id.Name)
+		}
+	}
+}
+
+// lenBases returns the []byte bases whose length the expression is
+// derived from: len(base) calls and identifiers already marked derived.
+func (w *wireWalker) lenBases(expr ast.Expr, env *guardEnv) []string {
+	var bases []string
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "len" && len(n.Args) == 1 {
+				if _, isBuiltin := w.pass.Info.Uses[id].(*types.Builtin); isBuiltin && w.isByteSlice(n.Args[0]) {
+					bases = append(bases, exprString(n.Args[0]))
+				}
+			}
+		case *ast.Ident:
+			for base, vars := range env.lenDerived {
+				if vars[n.Name] {
+					bases = append(bases, base)
+				}
+			}
+		}
+		return true
+	})
+	return bases
+}
+
+// checkExpr inspects a node for index/slice expressions over []byte and
+// reports any not justified by the current guard environment. Function
+// literals are walked with a snapshot of the environment.
+func (w *wireWalker) checkExpr(node ast.Node, env *guardEnv) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkBlock(n.Body.List, env.clone())
+			return false
+		case *ast.IndexExpr:
+			if w.isByteSlice(n.X) && !w.indexSafe(n.X, n.Index, env) {
+				w.pass.Reportf(n.Pos(), "index of wire buffer %s is not dominated by a len(%s) bounds guard", exprString(n.X), exprString(n.X))
+			}
+		case *ast.SliceExpr:
+			if !w.isByteSlice(n.X) {
+				return true
+			}
+			for _, bound := range []ast.Expr{n.Low, n.High, n.Max} {
+				if bound != nil && !w.sliceBoundSafe(n.X, bound, env) {
+					w.pass.Reportf(n.Pos(), "slice of wire buffer %s is not dominated by a len(%s) bounds guard", exprString(n.X), exprString(n.X))
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isByteSlice reports whether the expression's type is a []byte slice
+// (arrays and strings are out of scope).
+func (w *wireWalker) isByteSlice(expr ast.Expr) bool {
+	t := w.pass.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	slice, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := slice.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint8
+}
+
+// baseGuarded reports whether the buffer expression itself is covered
+// by a dominating guard.
+func (w *wireWalker) baseGuarded(base ast.Expr, env *guardEnv) bool {
+	key := exprString(base)
+	if env.guarded[key] {
+		return true
+	}
+	if sel, ok := ast.Unparen(base).(*ast.SelectorExpr); ok {
+		if env.guarded["recv:"+exprString(sel.X)] {
+			return true
+		}
+	}
+	return false
+}
+
+// indexSafe reports whether base[idx] is acceptably guarded.
+func (w *wireWalker) indexSafe(base, idx ast.Expr, env *guardEnv) bool {
+	if w.baseGuarded(base, env) {
+		return true
+	}
+	return w.boundMentionsLen(base, idx, env)
+}
+
+// sliceBoundSafe reports whether one explicit bound of base[lo:hi] is
+// acceptably guarded. The constant 0 is always in bounds for a slice.
+func (w *wireWalker) sliceBoundSafe(base, bound ast.Expr, env *guardEnv) bool {
+	if tv, ok := w.pass.Info.Types[bound]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
+			return true
+		}
+	}
+	if w.baseGuarded(base, env) {
+		return true
+	}
+	return w.boundMentionsLen(base, bound, env)
+}
+
+// boundMentionsLen reports whether the bound expression is pinned to
+// len(base): it contains len(base) directly or a variable recorded as
+// derived from it.
+func (w *wireWalker) boundMentionsLen(base, bound ast.Expr, env *guardEnv) bool {
+	baseKey := exprString(base)
+	for _, b := range w.lenBases(bound, env) {
+		if b == baseKey {
+			return true
+		}
+	}
+	return false
+}
+
+// condGuards extracts the guard keys established by a condition:
+// the argument of every len(...) call over a []byte, and the receiver
+// of every field selection (the decoder-cursor idiom).
+func (w *wireWalker) condGuards(cond ast.Expr) []string {
+	var keys []string
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "len" && len(n.Args) == 1 {
+				if _, isBuiltin := w.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					keys = append(keys, exprString(n.Args[0]))
+				}
+			}
+		case *ast.SelectorExpr:
+			// Only value fields, not method calls or package selectors.
+			if sel, ok := w.pass.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				keys = append(keys, "recv:"+exprString(n.X))
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// terminates reports whether a block always transfers control away:
+// its last statement is a return, branch, or panic-like call.
+func terminates(block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false
+	}
+	switch last := block.List[len(block.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			return fun.Name == "panic"
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			return name == "Exit" || name == "Fatal" || name == "Fatalf" || name == "Panic" || name == "Panicf"
+		}
+	}
+	return false
+}

@@ -48,7 +48,7 @@ func (s *Server) Listen(addr string) (netip.AddrPort, error) {
 	bound := pc.LocalAddr().(*net.UDPAddr).AddrPort()
 	ln, err := net.Listen("tcp", bound.String())
 	if err != nil {
-		pc.Close()
+		_ = pc.Close() // best-effort cleanup on the error path
 		return netip.AddrPort{}, err
 	}
 	s.pc, s.ln = pc, ln
@@ -67,8 +67,10 @@ func (s *Server) Close() error {
 		return nil
 	}
 	close(s.shutdown)
-	s.pc.Close()
-	s.ln.Close()
+	// Shutdown path: the goroutines below are unblocked by the close
+	// itself; a close error has nothing left to abort.
+	_ = s.pc.Close()
+	_ = s.ln.Close() // same shutdown rationale as above
 	s.mu.Unlock()
 	s.wg.Wait()
 	s.mu.Lock()
@@ -122,6 +124,8 @@ func (s *Server) serveUDP() {
 			if err != nil {
 				return
 			}
+			// A dropped response is indistinguishable from UDP loss;
+			// the client's retry logic covers it.
 			_, _ = s.pc.WriteTo(wire, from)
 		}()
 	}
@@ -143,6 +147,8 @@ func (s *Server) serveTCP() {
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
+			// SetDeadline on a live TCP conn cannot fail; a stale conn
+			// surfaces as a read error on the next loop iteration.
 			_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
 			for {
 				query, err := readTCPMessage(conn)
@@ -242,6 +248,8 @@ func (u *UDPExchanger) exchangeUDPOnce(ctx context.Context, server netip.AddrPor
 	if ctxDL, ok := ctx.Deadline(); ok && ctxDL.Before(deadline) {
 		deadline = ctxDL
 	}
+	// SetDeadline on a fresh conn cannot fail; a dead conn surfaces
+	// as an error on the write below.
 	_ = conn.SetDeadline(deadline)
 	if _, err := conn.Write(wire); err != nil {
 		return nil, err
@@ -274,6 +282,8 @@ func (u *UDPExchanger) exchangeTCP(ctx context.Context, server netip.AddrPort, q
 	if ctxDL, ok := ctx.Deadline(); ok && ctxDL.Before(deadline) {
 		deadline = ctxDL
 	}
+	// SetDeadline on a fresh conn cannot fail; a dead conn surfaces
+	// as an error on the write below.
 	_ = conn.SetDeadline(deadline)
 	if err := writeTCPMessage(conn, query); err != nil {
 		return nil, err

@@ -12,7 +12,10 @@
 // signed zones and scanned end-to-end over the wire.
 package population
 
-import "repro/internal/nsec3"
+import (
+	"repro/internal/dnswire"
+	"repro/internal/nsec3"
+)
 
 // ParamProfile is one (iterations, salt length) setting with a weight.
 type ParamProfile struct {
@@ -151,7 +154,7 @@ func RareSpecimens() []RareSpecimen {
 // to every analysis; only the length is reported).
 func (p ParamProfile) Params(saltSeed uint64) nsec3.Params {
 	return nsec3.Params{
-		Alg:        1,
+		Alg:        dnswire.NSEC3HashSHA1,
 		Iterations: p.Iterations,
 		Salt:       deterministicSalt(p.SaltLen, saltSeed),
 	}
