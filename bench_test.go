@@ -199,6 +199,35 @@ func BenchmarkFig1DomainScan(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// The sharded survey pipeline end to end.
+
+// BenchmarkSurveyShardedEndToEnd runs the whole §4.1 survey through the
+// streaming generate→deploy→scan→merge loop at different shard counts.
+// Results are identical at every count (TestSurveyShardEquivalence);
+// what varies is the memory envelope — O(Registered/Shards) — and the
+// per-shard deploy overhead this benchmark makes visible.
+func BenchmarkSurveyShardedEndToEnd(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				report, err := core.RunSurvey(context.Background(), core.SurveyConfig{
+					Registered: 600,
+					Seed:       3,
+					Shards:     shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.Agg.Total != 600 {
+					b.Fatal("short survey")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
 // Figure 2: rank-CDF construction over the NSEC3 intersection.
 
 func BenchmarkFig2TrancoIntersect(b *testing.B) {

@@ -20,6 +20,9 @@ go test -run='^$' -fuzz=FuzzDecodeMessage -fuzztime=5s ./internal/dnswire/
 go test -run='^$' -fuzz=FuzzDecodeName -fuzztime=5s ./internal/dnswire/
 go test -run='^$' -fuzz=FuzzHash -fuzztime=5s ./internal/nsec3/
 
+echo "== bench smoke (sharded survey, 1 iteration) =="
+go test -run='^$' -bench=Survey -benchtime=1x .
+
 echo "== reprolint =="
 go run ./cmd/reprolint ./...
 

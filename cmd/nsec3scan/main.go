@@ -2,7 +2,9 @@
 // sockets: it reads domain names (one per line) from a file or stdin,
 // scans each through a recursive resolver (DNSKEY, NSEC3PARAM, NS,
 // random-subdomain probe), and emits one NDJSON result per domain plus
-// a final RFC 9276 compliance summary on stderr.
+// a final RFC 9276 compliance summary on stderr. The input streams —
+// domains feed the worker pool as they are read, so arbitrarily large
+// lists run in constant memory.
 //
 //	nsec3scan -resolver 1.1.1.1:53 -workers 64 -qps 100 < domains.txt
 package main
@@ -14,7 +16,6 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
-	"sync"
 
 	"repro/internal/compliance"
 	"repro/internal/dnswire"
@@ -26,6 +27,47 @@ func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "nsec3scan:", err)
 		os.Exit(1)
+	}
+}
+
+// lineSource streams domain names off a reader one line at a time —
+// scanner.ScanAll pulls from it as workers free up, so the domain list
+// is never materialized.
+type lineSource struct {
+	sc *bufio.Scanner
+}
+
+// Next implements scanner.Source (called from one goroutine).
+func (l *lineSource) Next() (dnswire.Name, bool) {
+	for l.sc.Scan() {
+		line := l.sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		n, err := dnswire.ParseName(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nsec3scan: skipping %q: %v\n", line, err)
+			continue
+		}
+		return n, true
+	}
+	return "", false
+}
+
+// resultSink is one worker's sink: a private compliance aggregate plus
+// the shared NDJSON encoder (which serializes writes internally).
+type resultSink struct {
+	enc *scanner.Encoder
+	agg *compliance.Aggregate
+}
+
+// Consume implements scanner.Sink.
+func (s *resultSink) Consume(r scanner.Result) {
+	// A failed encode can only mean stdout is gone; the final Flush
+	// in run reports it once instead of once per result.
+	_ = s.enc.Write(r)
+	if r.Err == nil {
+		s.agg.Add(compliance.Classify(r.Facts))
 	}
 }
 
@@ -52,23 +94,7 @@ func run() error {
 		defer f.Close()
 		in = f
 	}
-	var domains []dnswire.Name
-	sc := bufio.NewScanner(in)
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" || line[0] == '#' {
-			continue
-		}
-		n, err := dnswire.ParseName(line)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "nsec3scan: skipping %q: %v\n", line, err)
-			continue
-		}
-		domains = append(domains, n)
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
+	src := &lineSource{sc: bufio.NewScanner(in)}
 
 	s := scanner.New(scanner.Config{
 		Exchanger: &netsim.UDPExchanger{},
@@ -77,22 +103,25 @@ func run() error {
 		QPS:       *qps,
 		Seed:      *seed,
 	})
-	agg := compliance.NewAggregate()
-	var mu sync.Mutex
+	defer s.Close()
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
-	err = s.ScanAll(context.Background(), domains, func(r scanner.Result) {
-		mu.Lock()
-		defer mu.Unlock()
-		// A failed encode can only mean stdout is gone; the final Flush
-		// below reports it once instead of once per result.
-		_ = scanner.Encode(out, r)
-		if r.Err == nil {
-			agg.Add(compliance.Classify(r.Facts))
-		}
+	enc := scanner.NewEncoder(out)
+	var sinks []*resultSink
+	err = s.ScanAll(context.Background(), src, func(int) scanner.Sink {
+		sink := &resultSink{enc: enc, agg: compliance.NewAggregate()}
+		sinks = append(sinks, sink)
+		return sink
 	})
 	if err != nil {
 		return err
+	}
+	if err := src.sc.Err(); err != nil {
+		return fmt.Errorf("reading domains: %w", err)
+	}
+	agg := compliance.NewAggregate()
+	for _, sink := range sinks {
+		agg.Merge(sink.agg)
 	}
 	if err := out.Flush(); err != nil {
 		return fmt.Errorf("writing results: %w", err)

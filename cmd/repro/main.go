@@ -48,6 +48,7 @@ func run() error {
 		fig3     = flag.Bool("fig3", false, "Figure 3 + §5.2 resolver stats")
 		timeline = flag.Bool("timeline", false, "§6 future work: compliance over the 2020–2024 migrations")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		shards   = flag.Int("shards", 1, "stream the domain survey in this many bounded shards (same results at any value)")
 		dScale   = flag.Int("domain-scale", 10000, "divide the 302 M-domain universe by this")
 		rScale   = flag.Int("resolver-scale", 200, "divide the resolver fleet by this")
 		tScale   = flag.Int("tranco-scale", 100, "divide the 1 M Tranco list by this")
@@ -70,6 +71,7 @@ func run() error {
 		survey, err = core.RunSurvey(ctx, core.SurveyConfig{
 			Registered: population.FullRegistered / *dScale,
 			Seed:       *seed,
+			Shards:     *shards,
 		})
 		if err != nil {
 			return err

@@ -39,6 +39,30 @@ func CDFFromHist(hist map[int]int) *CDF {
 // Total returns the population size.
 func (c *CDF) Total() int { return c.total }
 
+// Hist reconstructs the value→count histogram the CDF was built from.
+func (c *CDF) Hist() map[int]int {
+	h := make(map[int]int, len(c.values))
+	prev := 0
+	for i, v := range c.values {
+		h[v] = c.cum[i] - prev
+		prev = c.cum[i]
+	}
+	return h
+}
+
+// Merge folds other's population into c, as if both CDFs had been
+// built from one combined histogram.
+func (c *CDF) Merge(other *CDF) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	h := c.Hist()
+	for v, n := range other.Hist() {
+		h[v] += n
+	}
+	*c = *CDFFromHist(h)
+}
+
 // At returns the fraction of the population with value ≤ x, in [0,1].
 func (c *CDF) At(x int) float64 {
 	if c.total == 0 {
@@ -157,6 +181,28 @@ func (s *OperatorStats) Add(operators []string, iterations uint16, saltLen int) 
 		s.params[op] = make(map[string]int)
 	}
 	s.params[op][fmt.Sprintf("%d/%d", iterations, saltLen)]++
+}
+
+// Merge folds another accumulator into s. Scan workers each own a
+// private OperatorStats merged once at the end of a shard; merge order
+// does not affect the result.
+func (s *OperatorStats) Merge(o *OperatorStats) {
+	if o == nil {
+		return
+	}
+	s.total += o.total
+	s.mixed += o.mixed
+	for op, n := range o.domains {
+		s.domains[op] += n
+	}
+	for op, settings := range o.params {
+		if s.params[op] == nil {
+			s.params[op] = make(map[string]int, len(settings))
+		}
+		for k, v := range settings {
+			s.params[op][k] += v
+		}
+	}
 }
 
 // Top returns the n largest operators by exclusive domain count,

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -171,5 +172,63 @@ func TestRenderers(t *testing.T) {
 	ShareTable(&sb, "shares", []Bucket{{"compliant", 25}}, 100)
 	if !strings.Contains(sb.String(), "25.0 %") {
 		t.Fatalf("share table:\n%s", sb.String())
+	}
+}
+
+// TestOperatorStatsMergeEquivalence: per-worker accumulators merged in
+// any order must equal a single sequential accumulator.
+func TestOperatorStatsMergeEquivalence(t *testing.T) {
+	type obs struct {
+		ops  []string
+		iter uint16
+		salt int
+	}
+	stream := []obs{
+		{[]string{"a.net"}, 1, 8},
+		{[]string{"a.net"}, 1, 8},
+		{[]string{"b.com"}, 0, 0},
+		{[]string{"a.net", "b.com"}, 5, 4}, // mixed
+		{[]string{"c.org"}, 100, 8},
+		{[]string{"b.com"}, 0, 4},
+	}
+	whole := NewOperatorStats()
+	for _, o := range stream {
+		whole.Add(o.ops, o.iter, o.salt)
+	}
+	parts := []*OperatorStats{NewOperatorStats(), NewOperatorStats()}
+	for i, o := range stream {
+		parts[i%2].Add(o.ops, o.iter, o.salt)
+	}
+	merged := NewOperatorStats()
+	for _, p := range []*OperatorStats{parts[1], parts[0]} { // reversed order
+		merged.Merge(p)
+	}
+	if !reflect.DeepEqual(whole, merged) {
+		t.Fatalf("merged stats differ:\nwhole:  %+v\nmerged: %+v", whole, merged)
+	}
+	if merged.Total() != len(stream) {
+		t.Fatalf("total %d, want %d", merged.Total(), len(stream))
+	}
+}
+
+// TestCDFHistRoundTripAndMerge: Hist inverts CDFFromHist, and Merge
+// equals building one CDF from the combined histogram.
+func TestCDFHistRoundTripAndMerge(t *testing.T) {
+	ha := map[int]int{0: 5, 1: 3, 10: 2}
+	hb := map[int]int{1: 4, 10: 1, 500: 1}
+	a := CDFFromHist(ha)
+	if !reflect.DeepEqual(a.Hist(), ha) {
+		t.Fatalf("Hist round trip: %v", a.Hist())
+	}
+	a.Merge(CDFFromHist(hb))
+	combined := map[int]int{0: 5, 1: 7, 10: 3, 500: 1}
+	if !reflect.DeepEqual(a, CDFFromHist(combined)) {
+		t.Fatalf("merged CDF differs: %+v vs %+v", a, CDFFromHist(combined))
+	}
+	// Merging an empty or nil CDF is a no-op.
+	a.Merge(CDFFromHist(nil))
+	a.Merge(nil)
+	if a.Total() != 16 || a.Max() != 500 {
+		t.Fatalf("no-op merges changed the CDF: total=%d max=%d", a.Total(), a.Max())
 	}
 }

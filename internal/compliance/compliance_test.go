@@ -2,6 +2,7 @@ package compliance
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/dnswire"
@@ -305,5 +306,41 @@ func TestResolverAggregate(t *testing.T) {
 	}
 	if agg.EDE27 != 2 || agg.EDEAny != 2 {
 		t.Fatalf("EDE agg: %+v", agg)
+	}
+}
+
+// TestAggregateMergeEquivalence: splitting a classification stream
+// across N private aggregates and merging must equal one aggregate
+// fed sequentially — the invariant the sharded survey relies on.
+func TestAggregateMergeEquivalence(t *testing.T) {
+	classes := []ZoneClass{
+		{DNSSECEnabled: true, NSEC3Enabled: true, Iterations: 0, SaltLen: 0,
+			Item2OK: true, Item3OK: true, BothOK: true},
+		{DNSSECEnabled: true, NSEC3Enabled: true, Iterations: 10, SaltLen: 8, OptOut: true},
+		{DNSSECEnabled: true, NSECUsed: true},
+		{},
+		{DNSSECEnabled: true, NSEC3Enabled: true, Iterations: 500, SaltLen: 160},
+		{DNSSECEnabled: true, NSEC3Enabled: true, Iterations: 1, SaltLen: 8},
+	}
+	whole := NewAggregate()
+	for _, c := range classes {
+		whole.Add(c)
+	}
+	parts := []*Aggregate{NewAggregate(), NewAggregate(), NewAggregate()}
+	for i, c := range classes {
+		parts[i%len(parts)].Add(c)
+	}
+	merged := NewAggregate()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if !reflect.DeepEqual(whole, merged) {
+		t.Fatalf("merged aggregate differs:\nwhole:  %+v\nmerged: %+v", whole, merged)
+	}
+	// Merging nil is a no-op.
+	before := *merged
+	merged.Merge(nil)
+	if merged.Total != before.Total {
+		t.Fatal("nil merge changed the aggregate")
 	}
 }

@@ -168,6 +168,36 @@ func (a *Aggregate) Add(c ZoneClass) {
 	}
 }
 
+// Merge folds another aggregate into a. Each scan worker owns a
+// private Aggregate and the survey merges them once at the end, so the
+// hot path needs no locking; merging in any order yields the same
+// result (all fields are sums, histograms, or maxima).
+func (a *Aggregate) Merge(b *Aggregate) {
+	if b == nil {
+		return
+	}
+	a.Total += b.Total
+	a.DNSSECEnabled += b.DNSSECEnabled
+	a.NSEC3Enabled += b.NSEC3Enabled
+	a.NSECUsed += b.NSECUsed
+	a.Item2OK += b.Item2OK
+	a.Item3OK += b.Item3OK
+	a.BothOK += b.BothOK
+	a.OptOut += b.OptOut
+	for v, n := range b.IterationsHist {
+		a.IterationsHist[v] += n
+	}
+	for v, n := range b.SaltLenHist {
+		a.SaltLenHist[v] += n
+	}
+	if b.MaxIterations > a.MaxIterations {
+		a.MaxIterations = b.MaxIterations
+	}
+	if b.MaxSaltLen > a.MaxSaltLen {
+		a.MaxSaltLen = b.MaxSaltLen
+	}
+}
+
 // Pct returns 100*num/den, 0 when den is 0.
 func Pct(num, den int) float64 {
 	if den == 0 {

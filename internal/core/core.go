@@ -5,7 +5,11 @@
 //     universe, materialize it into real signed zones served on a
 //     simulated Internet, scan every domain through a recursive
 //     resolver with a zdns-style scanner, and aggregate RFC 9276
-//     compliance — Figure 1, Table 2, and the TLD statistics.
+//     compliance — Figure 1, Table 2, and the TLD statistics. The
+//     pipeline streams: the universe is generated, deployed, scanned,
+//     and merged one shard at a time, so peak memory is bounded by the
+//     shard size rather than the universe size, and the shard count
+//     never changes the results.
 //
 //   - RunTrancoStudy (§5.1, Figure 2): the same pipeline over a
 //     Tranco-style ranked universe.
@@ -19,7 +23,6 @@ package core
 
 import (
 	"context"
-	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/compliance"
@@ -48,11 +51,18 @@ type SurveyConfig struct {
 	// QPS rate-limits the scanner (0 = unlimited; the paper used
 	// 14.7 K qps against 1.1.1.1).
 	QPS int
+	// Shards splits the run into bounded generate→deploy→scan→merge
+	// batches: peak memory is O(Registered/Shards) instead of
+	// O(Registered). The shard decomposition never changes the report
+	// — every domain is generated from its own index-derived stream
+	// (default 1).
+	Shards int
 }
 
-// SurveyReport is the evaluated §5.1 output.
+// SurveyReport is the evaluated §5.1 output. Every field is a merged
+// aggregate; the per-shard universes are discarded as the pipeline
+// streams past them.
 type SurveyReport struct {
-	Universe *population.Universe
 	// Agg summarizes the scanned domain classifications.
 	Agg *compliance.Aggregate
 	// IterCDF and SaltCDF feed Figure 1.
@@ -74,7 +84,32 @@ type SurveyReport struct {
 	TLDZonesTransferred int
 }
 
-// RunSurvey executes the full domain-side experiment.
+// surveySink is one scanner worker's private accumulator. Workers
+// classify into their own sink lock-free; the shard loop merges the
+// sinks once the scan drains.
+type surveySink struct {
+	agg        *compliance.Aggregate
+	ops        *analysis.OperatorStats // nil for the TLD scan
+	scanErrors int
+}
+
+// Consume implements scanner.Sink.
+func (s *surveySink) Consume(r scanner.Result) {
+	if r.Err != nil {
+		s.scanErrors++
+		return
+	}
+	c := compliance.Classify(r.Facts)
+	s.agg.Add(c)
+	if s.ops != nil && c.NSEC3Enabled {
+		s.ops.Add(operatorKeys(r.Facts.NSHosts), c.Iterations, c.SaltLen)
+	}
+}
+
+// RunSurvey executes the full domain-side experiment as a sharded
+// stream: each shard is generated, deployed onto its own simulated
+// network, scanned, and merged into the report before the next shard
+// is touched.
 func RunSurvey(ctx context.Context, cfg SurveyConfig) (*SurveyReport, error) {
 	if cfg.Registered == 0 {
 		cfg.Registered = 30200
@@ -82,102 +117,109 @@ func RunSurvey(ctx context.Context, cfg SurveyConfig) (*SurveyReport, error) {
 	if cfg.Workers == 0 {
 		cfg.Workers = 64
 	}
-	u, err := population.Generate(population.Config{
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	cur, err := population.NewShardCursor(population.Config{
 		Registered: cfg.Registered,
 		Seed:       cfg.Seed,
-	})
+	}, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
-	dep, err := population.Deploy(u, netsim.NewNetwork(cfg.Seed), DefaultInception, DefaultExpiration)
-	if err != nil {
-		return nil, err
-	}
-	resolverAddr, err := installScanResolver(dep.Hierarchy)
-	if err != nil {
-		return nil, err
-	}
-	sc := scanner.New(scanner.Config{
-		Exchanger: dep.Hierarchy.Net,
-		Resolver:  resolverAddr,
-		Workers:   cfg.Workers,
-		QPS:       cfg.QPS,
-		Seed:      cfg.Seed + 1,
-	})
-
+	tlds := cur.TLDs()
 	report := &SurveyReport{
-		Universe:  u,
 		Agg:       compliance.NewAggregate(),
 		Operators: analysis.NewOperatorStats(),
-		TLDAgg:    population.AggregateTLDs(u.TLDs),
+		TLDAgg:    population.AggregateTLDs(tlds),
 	}
-
-	// Scan every registered domain.
-	var mu sync.Mutex
-	names := make([]dnswire.Name, len(u.Domains))
-	for i := range u.Domains {
-		names[i] = u.Domains[i].Name
-	}
-	err = sc.ScanAll(ctx, names, func(r scanner.Result) {
-		mu.Lock()
-		defer mu.Unlock()
-		if r.Err != nil {
-			report.ScanErrors++
-			return
+	idTLD := make(map[string]bool)
+	for _, t := range tlds {
+		if t.Registry == population.IdentityDigitalName {
+			idTLD[t.Name] = true
 		}
-		c := compliance.Classify(r.Facts)
-		report.Agg.Add(c)
-		if c.NSEC3Enabled {
-			report.Operators.Add(operatorKeys(r.Facts.NSHosts), c.Iterations, c.SaltLen)
-		}
-	})
-	if err != nil {
-		return nil, err
 	}
-
-	// Scan the TLDs end-to-end through the same pipeline.
-	tldAgg := compliance.NewAggregate()
-	tldNames := make([]dnswire.Name, 0, len(u.TLDs))
-	for _, t := range u.TLDs {
-		n, err := dnswire.FromLabels(t.Name)
+	transferred := make(map[string]bool)
+	for {
+		shard, err := cur.Next()
 		if err != nil {
 			return nil, err
 		}
-		tldNames = append(tldNames, n)
-	}
-	err = sc.ScanAll(ctx, tldNames, func(r scanner.Result) {
-		mu.Lock()
-		defer mu.Unlock()
-		if r.Err != nil {
-			report.ScanErrors++
-			return
+		if shard == nil {
+			break
 		}
-		tldAgg.Add(compliance.Classify(r.Facts))
-	})
-	if err != nil {
-		return nil, err
+		if err := scanShard(ctx, cfg, shard, report, idTLD, transferred); err != nil {
+			return nil, err
+		}
 	}
-	report.TLDs = *tldAgg
+	report.TLDZonesTransferred = len(transferred)
 
-	// Figure 1 CDFs from the scanned histograms.
+	// Figure 1 CDFs from the merged histograms.
 	iterHist := make(map[int]int, len(report.Agg.IterationsHist))
 	for v, c := range report.Agg.IterationsHist {
 		iterHist[int(v)] = c
 	}
 	report.IterCDF = analysis.CDFFromHist(iterHist)
 	report.SaltCDF = analysis.CDFFromHist(report.Agg.SaltLenHist)
+	return report, nil
+}
+
+// scanShard deploys one shard, scans it, and merges its aggregates
+// into the report. The TLD registry is scanned end-to-end only on
+// shard 0 — every shard's deployment signs the TLD zones with the same
+// registry parameters, so once is enough. The AXFR delegation count
+// runs per shard: a shard's TLD zones delegate exactly that shard's
+// domains, so the per-shard counts sum to the whole-universe total.
+func scanShard(ctx context.Context, cfg SurveyConfig, shard *population.Shard, report *SurveyReport, idTLD, transferred map[string]bool) error {
+	u := shard.Universe
+	dep, err := population.Deploy(u, netsim.NewNetwork(cfg.Seed+uint64(shard.Index)), DefaultInception, DefaultExpiration)
+	if err != nil {
+		return err
+	}
+	resolverAddr, err := installScanResolver(dep.Hierarchy)
+	if err != nil {
+		return err
+	}
+	sc := scanner.New(scanner.Config{
+		Exchanger: dep.Hierarchy.Net,
+		Resolver:  resolverAddr,
+		Workers:   cfg.Workers,
+		QPS:       cfg.QPS,
+		Seed:      cfg.Seed + 1 + uint64(shard.Index),
+	})
+	defer sc.Close()
+
+	// Scan this shard's registered domains into per-worker sinks.
+	names := make([]dnswire.Name, len(u.Domains))
+	for i := range u.Domains {
+		names[i] = u.Domains[i].Name
+	}
+	sinks := make([]*surveySink, 0, cfg.Workers)
+	err = sc.ScanAll(ctx, scanner.Names(names), func(int) scanner.Sink {
+		s := &surveySink{agg: compliance.NewAggregate(), ops: analysis.NewOperatorStats()}
+		sinks = append(sinks, s)
+		return s
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range sinks {
+		report.Agg.Merge(s.agg)
+		report.Operators.Merge(s.ops)
+		report.ScanErrors += s.scanErrors
+	}
+
+	if shard.Index == 0 {
+		if err := scanTLDs(ctx, sc, u.TLDs, report); err != nil {
+			return err
+		}
+	}
 
 	// The ≥12.6 M-domains estimate: count delegations in Identity
 	// Digital TLD zones obtained via AXFR where the registry opens its
 	// zone data (the paper's CZDS/AXFR path), and fall back to our
 	// registered-domain list — "necessarily incomplete and therefore
 	// only a lower bound" (§5.1) — for the rest.
-	idTLD := make(map[string]bool)
-	for _, t := range u.TLDs {
-		if t.Registry == population.IdentityDigitalName {
-			idTLD[t.Name] = true
-		}
-	}
 	listCounts := make(map[string]int)
 	for i := range u.Domains {
 		if idTLD[u.Domains[i].TLD] {
@@ -192,12 +234,12 @@ func RunSurvey(ctx context.Context, cfg SurveyConfig) (*SurveyReport, error) {
 		if t.OpenZoneData {
 			apex, err := dnswire.FromLabels(t.Name)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rrs, err := scanner.Transfer(ctx, dep.Hierarchy.Net, dep.TLDServers[t.Name], apex)
 			if err == nil {
 				report.DomainsUnderIDTLDs += scanner.CountDelegations(apex, rrs)
-				report.TLDZonesTransferred++
+				transferred[t.Name] = true
 				counted = true
 			}
 		}
@@ -205,7 +247,35 @@ func RunSurvey(ctx context.Context, cfg SurveyConfig) (*SurveyReport, error) {
 			report.DomainsUnderIDTLDs += listCounts[t.Name]
 		}
 	}
-	return report, nil
+	return nil
+}
+
+// scanTLDs pushes the TLD registry through the same scan pipeline.
+func scanTLDs(ctx context.Context, sc *scanner.Scanner, tlds []population.TLDSpec, report *SurveyReport) error {
+	names := make([]dnswire.Name, 0, len(tlds))
+	for _, t := range tlds {
+		n, err := dnswire.FromLabels(t.Name)
+		if err != nil {
+			return err
+		}
+		names = append(names, n)
+	}
+	var sinks []*surveySink
+	err := sc.ScanAll(ctx, scanner.Names(names), func(int) scanner.Sink {
+		s := &surveySink{agg: compliance.NewAggregate()}
+		sinks = append(sinks, s)
+		return s
+	})
+	if err != nil {
+		return err
+	}
+	agg := compliance.NewAggregate()
+	for _, s := range sinks {
+		agg.Merge(s.agg)
+		report.ScanErrors += s.scanErrors
+	}
+	report.TLDs = *agg
+	return nil
 }
 
 // operatorKeys maps NS host names to operator keys: the registered

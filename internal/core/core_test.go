@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"reflect"
+	"strings"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/compliance"
 	"repro/internal/population"
 	"repro/internal/respop"
@@ -101,6 +104,48 @@ func TestSurveyEndToEnd(t *testing.T) {
 	// ≥12.6 M lower-bound estimate).
 	if report.DomainsUnderIDTLDs == 0 {
 		t.Error("no domains under Identity Digital TLDs")
+	}
+}
+
+// TestSurveyShardEquivalence is the golden test of the streaming
+// refactor: RunSurvey with Shards=1 and Shards=3 at the same seed must
+// produce byte-identical aggregates — Figure 1 CDFs, Table 2 operator
+// stats, and the §5.1 TLD numbers all included.
+func TestSurveyShardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end survey is slow")
+	}
+	run := func(shards int) *SurveyReport {
+		t.Helper()
+		report, err := RunSurvey(context.Background(), SurveyConfig{
+			Registered: 900,
+			Seed:       5,
+			Shards:     shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report
+	}
+	whole := run(1)
+	sharded := run(3)
+	if !reflect.DeepEqual(whole, sharded) {
+		t.Errorf("sharded report differs from unsharded:\nwhole:   %+v\nsharded: %+v", whole, sharded)
+	}
+	// Belt and braces: the rendered deliverables must match byte for
+	// byte (this is what the paper's figures and tables are built from).
+	render := func(r *SurveyReport) string {
+		var sb strings.Builder
+		analysis.RenderCDF(&sb, "iterations", r.IterCDF, []int{0, 1, 5, 10, 25, 50, 100, 150, 500})
+		analysis.RenderCDF(&sb, "salt", r.SaltCDF, []int{0, 1, 4, 8, 10, 40, 45, 160})
+		analysis.RenderOperatorTable(&sb, r.Operators.Top(10))
+		return sb.String()
+	}
+	if a, b := render(whole), render(sharded); a != b {
+		t.Errorf("rendered outputs differ:\n--- shards=1\n%s\n--- shards=3\n%s", a, b)
+	}
+	if whole.Agg.Total != 900 || sharded.Agg.Total != 900 {
+		t.Fatalf("totals %d/%d, want 900", whole.Agg.Total, sharded.Agg.Total)
 	}
 }
 

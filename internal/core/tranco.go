@@ -2,7 +2,7 @@ package core
 
 import (
 	"context"
-	"sync"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/compliance"
@@ -31,7 +31,8 @@ type TrancoReport struct {
 	NoSalt        int // Item 3 compliant
 	Both          int
 	// NSEC3Ranks are the popularity ranks of NSEC3-enabled domains —
-	// Figure 2's x-axis (the paper's CDF rises uniformly).
+	// Figure 2's x-axis (the paper's CDF rises uniformly). Sorted
+	// ascending, so the slice is deterministic across runs.
 	NSEC3Ranks []int
 	// RankCDF is the CDF over those ranks.
 	RankCDF *analysis.CDF
@@ -73,6 +74,8 @@ func RunTrancoStudy(ctx context.Context, cfg TrancoConfig) (*TrancoReport, error
 		Seed:      cfg.Seed + 3,
 	})
 
+	defer sc.Close()
+
 	rankByName := make(map[dnswire.Name]int, len(u.Domains))
 	names := make([]dnswire.Name, len(u.Domains))
 	for i := range u.Domains {
@@ -80,41 +83,71 @@ func RunTrancoStudy(ctx context.Context, cfg TrancoConfig) (*TrancoReport, error
 		rankByName[u.Domains[i].Name] = u.Domains[i].Rank
 	}
 
-	report := &TrancoReport{ListSize: cfg.ListSize}
-	var mu sync.Mutex
-	err = sc.ScanAll(ctx, names, func(r scanner.Result) {
-		mu.Lock()
-		defer mu.Unlock()
-		if r.Err != nil {
-			report.ScanErrors++
-			return
-		}
-		c := compliance.Classify(r.Facts)
-		if c.DNSSECEnabled {
-			report.DNSSECEnabled++
-		}
-		if !c.NSEC3Enabled {
-			return
-		}
-		report.NSEC3Enabled++
-		report.NSEC3Ranks = append(report.NSEC3Ranks, rankByName[r.Facts.Domain])
-		if c.Item2OK {
-			report.ZeroIter++
-		}
-		if c.Item3OK {
-			report.NoSalt++
-		}
-		if c.BothOK {
-			report.Both++
-		}
+	// Per-worker sinks: each worker classifies into its own counters,
+	// merged after the scan drains — the same lock-free shape as
+	// RunSurvey.
+	var sinks []*trancoSink
+	err = sc.ScanAll(ctx, scanner.Names(names), func(int) scanner.Sink {
+		s := &trancoSink{ranks: rankByName}
+		sinks = append(sinks, s)
+		return s
 	})
 	if err != nil {
 		return nil, err
 	}
+	report := &TrancoReport{ListSize: cfg.ListSize}
+	for _, s := range sinks {
+		report.DNSSECEnabled += s.dnssec
+		report.NSEC3Enabled += s.nsec3
+		report.ZeroIter += s.zeroIter
+		report.NoSalt += s.noSalt
+		report.Both += s.both
+		report.ScanErrors += s.scanErrors
+		report.NSEC3Ranks = append(report.NSEC3Ranks, s.nsec3Ranks...)
+	}
+	sort.Ints(report.NSEC3Ranks)
 	rankHist := make(map[int]int, len(report.NSEC3Ranks))
 	for _, r := range report.NSEC3Ranks {
 		rankHist[r]++
 	}
 	report.RankCDF = analysis.CDFFromHist(rankHist)
 	return report, nil
+}
+
+// trancoSink is one worker's private Figure 2 accumulator.
+type trancoSink struct {
+	ranks      map[dnswire.Name]int // read-only rank lookup, shared
+	dnssec     int
+	nsec3      int
+	zeroIter   int
+	noSalt     int
+	both       int
+	scanErrors int
+	nsec3Ranks []int
+}
+
+// Consume implements scanner.Sink.
+func (s *trancoSink) Consume(r scanner.Result) {
+	if r.Err != nil {
+		s.scanErrors++
+		return
+	}
+	c := compliance.Classify(r.Facts)
+	if c.DNSSECEnabled {
+		s.dnssec++
+	}
+	if !c.NSEC3Enabled {
+		return
+	}
+	s.nsec3++
+	s.nsec3Ranks = append(s.nsec3Ranks, s.ranks[r.Facts.Domain])
+	if c.Item2OK {
+		s.zeroIter++
+	}
+	if c.Item3OK {
+		s.noSalt++
+	}
+	if c.BothOK {
+		s.both++
+	}
 }

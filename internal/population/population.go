@@ -1,7 +1,6 @@
 package population
 
 import (
-	"fmt"
 	"math/rand/v2"
 
 	"repro/internal/dnswire"
@@ -75,84 +74,25 @@ func newUniverseRNG(seed uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, seed^0xD1B54A32D192ED03))
 }
 
-// Generate builds the universe deterministically from cfg.
+// Generate builds the universe deterministically from cfg — the
+// collect-all wrapper over the shard cursor. The sharded pipeline
+// (core.RunSurvey with Shards > 1) consumes the cursor directly and
+// produces exactly the domains returned here.
 func Generate(cfg Config) (*Universe, error) {
-	if cfg.Registered <= 0 {
-		return nil, fmt.Errorf("population: Registered must be positive")
+	cur, err := NewShardCursor(Config{Registered: cfg.Registered, Seed: cfg.Seed}, 1)
+	if err != nil {
+		return nil, err
 	}
-	rng := newUniverseRNG(cfg.Seed)
-	ops := Operators()
-	u := &Universe{
-		Config:    cfg,
-		Domains:   make([]DomainSpec, 0, cfg.Registered),
-		Operators: make(map[string]Operator, len(ops)),
+	shard, err := cur.Next()
+	if err != nil {
+		return nil, err
 	}
-	for _, op := range ops {
-		u.Operators[op.Name] = op
-	}
-	opCum := operatorCumulative(ops)
-	tldCum := tldCumulative()
-
-	for i := 0; i < cfg.Registered; i++ {
-		spec := DomainSpec{TLD: pickTLD(tldCum, rng.Float64())}
-		label := fmt.Sprintf("d%07d", i)
-		name, err := dnswire.FromLabels(label, spec.TLD)
-		if err != nil {
-			return nil, err
-		}
-		spec.Name = name
-		op := pickOperator(ops, opCum, rng.Float64())
-		spec.Operator = op.Name
-		spec.DNSSEC = rng.Float64() < dnssecRate
-		if spec.DNSSEC {
-			spec.NSEC3 = rng.Float64() < nsec3GivenDNSSEC
-		}
-		if spec.NSEC3 {
-			prof := pickProfile(op.Profiles, rng.Float64())
-			spec.Iterations = prof.Iterations
-			spec.SaltLen = prof.SaltLen
-			spec.OptOut = rng.Float64() < optOutRate
-		}
-		u.Domains = append(u.Domains, spec)
-	}
-	injectRareSpecimens(u, rng)
+	u := shard.Universe
+	u.Config = cfg
 	if cfg.RankedSize > 0 {
-		assignRanks(u, rng)
+		assignRanks(u, newUniverseRNG(cfg.Seed^0x52414E4B45440A01))
 	}
-	u.TLDs = GenerateTLDs(cfg.Seed)
 	return u, nil
-}
-
-// injectRareSpecimens overwrites a few NSEC3-enabled domains with the
-// fixed extreme-tail settings, scaled from the paper's absolute counts
-// but keeping at least one specimen per row so the observed maxima
-// (500 iterations, 160-byte salt) survive any scale.
-func injectRareSpecimens(u *Universe, rng *rand.Rand) {
-	nsec3Idx := make([]int, 0, 1024)
-	for i := range u.Domains {
-		if u.Domains[i].NSEC3 {
-			nsec3Idx = append(nsec3Idx, i)
-		}
-	}
-	if len(nsec3Idx) == 0 {
-		return
-	}
-	scale := float64(len(nsec3Idx)) / float64(FullNSEC3)
-	pos := 0
-	for _, spec := range RareSpecimens() {
-		n := int(float64(spec.Count)*scale + 0.5)
-		if n < 1 {
-			n = 1
-		}
-		for i := 0; i < n && pos < len(nsec3Idx); i++ {
-			d := &u.Domains[nsec3Idx[pos]]
-			d.Iterations = spec.Iterations
-			d.SaltLen = spec.SaltLen
-			d.Operator = spec.Operator
-			pos++
-		}
-	}
-	_ = rng
 }
 
 // assignRanks builds the Tranco-style list: RankedSize ranked domains

@@ -1,0 +1,211 @@
+package population
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/dnswire"
+)
+
+// This file implements the streaming side of universe generation: a
+// deterministic shard cursor that yields the universe in bounded
+// slices. Every domain is generated from its own index-derived PCG
+// stream, and the rare-specimen tail is applied from a precomputed
+// plan keyed by each domain's NSEC3 ordinal, so the concatenation of
+// any shard decomposition is byte-identical to a single-shard run —
+// the property core.RunSurvey's sharded pipeline relies on.
+
+// Shard is one contiguous slice of the universe.
+type Shard struct {
+	// Index is the shard ordinal, 0-based.
+	Index int
+	// Offset is the global index of Universe.Domains[0].
+	Offset int
+	// Universe holds this shard's domains plus the (shared) operator
+	// table and TLD registry, ready for Deploy.
+	Universe *Universe
+}
+
+// ShardCursor streams a universe shard by shard. Shards must be
+// consumed in order via Next (the cursor carries the NSEC3 ordinal
+// across shard boundaries); the decomposition into shards never
+// changes the generated domains.
+type ShardCursor struct {
+	cfg    Config
+	shards int
+	next   int // next shard index
+	offset int // global index of the next shard's first domain
+
+	nsec3Seen int            // NSEC3 ordinal carried across shards
+	plan      []RareSpecimen // per-NSEC3-ordinal overrides
+
+	ops       []Operator
+	operators map[string]Operator
+	opCum     []float64
+	tldCum    []float64
+	tlds      []TLDSpec
+}
+
+// NewShardCursor prepares a cursor that generates cfg.Registered
+// domains across the given number of shards. Ranked universes are not
+// shardable (rank assignment is a whole-universe permutation); use
+// Generate for those. A shard count above cfg.Registered is clamped.
+func NewShardCursor(cfg Config, shards int) (*ShardCursor, error) {
+	if cfg.Registered <= 0 {
+		return nil, fmt.Errorf("population: Registered must be positive")
+	}
+	if cfg.RankedSize > 0 {
+		return nil, fmt.Errorf("population: ranked universes cannot be sharded")
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > cfg.Registered {
+		shards = cfg.Registered
+	}
+	ops := Operators()
+	operators := make(map[string]Operator, len(ops))
+	for _, op := range ops {
+		operators[op.Name] = op
+	}
+	return &ShardCursor{
+		cfg:       cfg,
+		shards:    shards,
+		plan:      specimenPlan(cfg.Registered),
+		ops:       ops,
+		operators: operators,
+		opCum:     operatorCumulative(ops),
+		tldCum:    tldCumulative(),
+		tlds:      GenerateTLDs(cfg.Seed),
+	}, nil
+}
+
+// Shards returns the shard count.
+func (c *ShardCursor) Shards() int { return c.shards }
+
+// TLDs returns the shared TLD registry (read-only).
+func (c *ShardCursor) TLDs() []TLDSpec { return c.tlds }
+
+// Operators returns the shared operator table (read-only).
+func (c *ShardCursor) Operators() map[string]Operator { return c.operators }
+
+// Next generates and returns the next shard, or (nil, nil) when every
+// shard has been yielded.
+func (c *ShardCursor) Next() (*Shard, error) {
+	if c.next >= c.shards {
+		return nil, nil
+	}
+	size := c.cfg.Registered / c.shards
+	if c.next < c.cfg.Registered%c.shards {
+		size++
+	}
+	shard := &Shard{
+		Index:  c.next,
+		Offset: c.offset,
+		Universe: &Universe{
+			Config:    c.cfg,
+			Domains:   make([]DomainSpec, 0, size),
+			Operators: c.operators,
+			TLDs:      c.tlds,
+		},
+	}
+	for i := c.offset; i < c.offset+size; i++ {
+		spec, err := c.domainAt(i)
+		if err != nil {
+			return nil, err
+		}
+		if spec.NSEC3 {
+			if c.nsec3Seen < len(c.plan) {
+				s := c.plan[c.nsec3Seen]
+				spec.Iterations = s.Iterations
+				spec.SaltLen = s.SaltLen
+				spec.Operator = s.Operator
+			}
+			c.nsec3Seen++
+		}
+		shard.Universe.Domains = append(shard.Universe.Domains, spec)
+	}
+	c.next++
+	c.offset += size
+	return shard, nil
+}
+
+// domainAt generates domain i from its own index-derived stream, so
+// the result depends only on (Seed, i) — never on shard boundaries.
+func (c *ShardCursor) domainAt(i int) (DomainSpec, error) {
+	rng := domainRNG(c.cfg.Seed, i)
+	spec := DomainSpec{TLD: pickTLD(c.tldCum, rng.Float64())}
+	name, err := dnswire.FromLabels(fmt.Sprintf("d%07d", i), spec.TLD)
+	if err != nil {
+		return DomainSpec{}, err
+	}
+	spec.Name = name
+	op := pickOperator(c.ops, c.opCum, rng.Float64())
+	spec.Operator = op.Name
+	spec.DNSSEC = rng.Float64() < dnssecRate
+	if spec.DNSSEC {
+		spec.NSEC3 = rng.Float64() < nsec3GivenDNSSEC
+	}
+	if spec.NSEC3 {
+		prof := pickProfile(op.Profiles, rng.Float64())
+		spec.Iterations = prof.Iterations
+		spec.SaltLen = prof.SaltLen
+		spec.OptOut = rng.Float64() < optOutRate
+	}
+	return spec, nil
+}
+
+// domainRNG seeds domain i's private PCG stream.
+func domainRNG(seed uint64, i int) *rand.Rand {
+	s := splitmix(seed ^ splitmix(uint64(i)+0x6C62272E07BB0142))
+	return rand.New(rand.NewPCG(s, splitmix(s)))
+}
+
+// expectedNSEC3 is the calibration-expected NSEC3-enabled count at a
+// scale — the streaming stand-in for the materialized count (which is
+// unknowable until the whole stream has been generated).
+func expectedNSEC3(registered int) int {
+	return int(float64(registered)*dnssecRate*nsec3GivenDNSSEC + 0.5)
+}
+
+// specimenPlan expands RareSpecimens into one override per affected
+// NSEC3 ordinal: the j-th NSEC3-enabled domain of the stream receives
+// plan[j]. Counts scale with the expected NSEC3 population but every
+// specimen row keeps at least one slot, so the observed maxima (500
+// iterations, 160-byte salt) survive any scale.
+func specimenPlan(registered int) []RareSpecimen {
+	scale := float64(expectedNSEC3(registered)) / float64(FullNSEC3)
+	var plan []RareSpecimen
+	for _, spec := range RareSpecimens() {
+		n := int(float64(spec.Count)*scale + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			plan = append(plan, spec)
+		}
+	}
+	return plan
+}
+
+// injectRareSpecimens applies the specimen plan to a materialized
+// universe — the same overrides, at the same NSEC3 ordinals, as the
+// streaming cursor applies (GenerateAt re-runs this after re-sampling
+// parameters for a different era).
+func injectRareSpecimens(u *Universe) {
+	plan := specimenPlan(len(u.Domains))
+	ord := 0
+	for i := range u.Domains {
+		if !u.Domains[i].NSEC3 {
+			continue
+		}
+		if ord >= len(plan) {
+			break
+		}
+		d := &u.Domains[i]
+		d.Iterations = plan[ord].Iterations
+		d.SaltLen = plan[ord].SaltLen
+		d.Operator = plan[ord].Operator
+		ord++
+	}
+}

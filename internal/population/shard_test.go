@@ -1,0 +1,131 @@
+package population
+
+import (
+	"testing"
+)
+
+// collectShards drains a cursor and returns the concatenated domains
+// plus the per-shard (offset, size) layout.
+func collectShards(t *testing.T, cfg Config, shards int) ([]DomainSpec, []*Shard) {
+	t.Helper()
+	cur, err := NewShardCursor(cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []DomainSpec
+	var got []*Shard
+	for {
+		shard, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shard == nil {
+			break
+		}
+		all = append(all, shard.Universe.Domains...)
+		got = append(got, shard)
+	}
+	return all, got
+}
+
+// TestShardDecompositionInvariant is the core guarantee of the
+// streaming refactor: any shard count concatenates to the exact same
+// universe Generate materializes.
+func TestShardDecompositionInvariant(t *testing.T) {
+	cfg := Config{Registered: 2377, Seed: 17} // prime size: uneven splits
+	want, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 3, 7, 64} {
+		all, layout := collectShards(t, cfg, shards)
+		if len(all) != len(want.Domains) {
+			t.Fatalf("shards=%d: %d domains, want %d", shards, len(all), len(want.Domains))
+		}
+		for i := range all {
+			if all[i] != want.Domains[i] {
+				t.Fatalf("shards=%d: domain %d differs: %+v vs %+v",
+					shards, i, all[i], want.Domains[i])
+			}
+		}
+		// Layout: contiguous offsets covering the whole universe.
+		off := 0
+		for i, s := range layout {
+			if s.Index != i || s.Offset != off {
+				t.Fatalf("shards=%d: shard %d has index %d offset %d, want offset %d",
+					shards, i, s.Index, s.Offset, off)
+			}
+			if len(s.Universe.Domains) == 0 {
+				t.Fatalf("shards=%d: empty shard %d", shards, i)
+			}
+			off += len(s.Universe.Domains)
+		}
+		if off != cfg.Registered {
+			t.Fatalf("shards=%d: layout covers %d of %d domains", shards, off, cfg.Registered)
+		}
+	}
+}
+
+// TestShardSpecimensSurviveSharding: the rare tail lands at the same
+// stream positions regardless of decomposition, so the observed maxima
+// exist in every sharded run too.
+func TestShardSpecimensSurviveSharding(t *testing.T) {
+	all, _ := collectShards(t, Config{Registered: 3000, Seed: 42}, 5)
+	has500, has160 := false, false
+	for i := range all {
+		if all[i].Iterations == 500 {
+			has500 = true
+		}
+		if all[i].SaltLen == 160 {
+			has160 = true
+		}
+	}
+	if !has500 || !has160 {
+		t.Fatalf("specimens missing under sharding (500:%v 160B:%v)", has500, has160)
+	}
+}
+
+func TestShardCursorSharesRegistry(t *testing.T) {
+	cur, err := NewShardCursor(Config{Registered: 100, Seed: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cur.TLDs()); n != TotalTLDs {
+		t.Fatalf("cursor registry has %d TLDs, want %d", n, TotalTLDs)
+	}
+	if len(cur.Operators()) == 0 {
+		t.Fatal("cursor has no operator table")
+	}
+	a, err := cur.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cur.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The registry and operator table are shared, not copied per shard.
+	if &a.Universe.TLDs[0] != &b.Universe.TLDs[0] {
+		t.Error("TLD registry copied per shard")
+	}
+	if a.Universe.Operators == nil || len(a.Universe.Operators) != len(b.Universe.Operators) {
+		t.Error("operator table not shared")
+	}
+}
+
+func TestShardCursorRejectsBadConfig(t *testing.T) {
+	if _, err := NewShardCursor(Config{Registered: 0}, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewShardCursor(Config{Registered: 10, RankedSize: 5}, 2); err == nil {
+		t.Error("ranked universe accepted for sharding")
+	}
+	// Shard counts above the universe clamp instead of erroring.
+	cur, err := NewShardCursor(Config{Registered: 3, Seed: 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Shards() != 3 {
+		t.Errorf("shards = %d, want clamp to 3", cur.Shards())
+	}
+}

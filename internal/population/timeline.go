@@ -99,8 +99,7 @@ func GenerateAt(cfg Config, date time.Time) (*Universe, error) {
 		d.SaltLen = prof.SaltLen
 	}
 	// Re-inject the fixed rare tail (it exists in every era).
-	rng := newUniverseRNG(cfg.Seed)
-	injectRareSpecimens(u, rng)
+	injectRareSpecimens(u)
 	// TLD registry: swap the ID cohort's iterations for the era.
 	iters := TLDIterationsAt(date)
 	for i := range u.TLDs {

@@ -1,0 +1,90 @@
+package scanner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned for queries that were waiting on the rate
+// limiter when the scanner was closed.
+var ErrClosed = errors.New("scanner: closed")
+
+// tokenBucket is a burstable QPS limiter. Tokens accrue at rate per
+// second up to burst; each query takes one token, sleeping when the
+// bucket runs dry. There is no background goroutine or ticker to leak:
+// refill happens arithmetically on each reservation, and Stop only
+// wakes blocked waiters on shutdown.
+type tokenBucket struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	tokens  float64
+	last    time.Time
+	done    chan struct{}
+	stopped bool
+}
+
+func newTokenBucket(qps, burst int) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{
+		rate:   float64(qps),
+		burst:  float64(burst),
+		tokens: float64(burst),
+		done:   make(chan struct{}),
+	}
+}
+
+// reserve takes one token and returns how long the caller must sleep
+// before using it. Tokens may go negative — that is the reservation of
+// a future token, which keeps the long-run rate exact while allowing
+// bursts up to the bucket capacity.
+func (b *tokenBucket) reserve(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	b.tokens--
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens / b.rate * float64(time.Second))
+}
+
+// wait blocks until a token is available, the context is done, or the
+// bucket is stopped.
+func (b *tokenBucket) wait(ctx context.Context) error {
+	d := b.reserve(time.Now())
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-b.done:
+		return ErrClosed
+	}
+}
+
+// Stop wakes every blocked waiter; subsequent waits fail with
+// ErrClosed. Safe to call more than once.
+func (b *tokenBucket) Stop() {
+	b.mu.Lock()
+	if !b.stopped {
+		b.stopped = true
+		close(b.done)
+	}
+	b.mu.Unlock()
+}

@@ -35,10 +35,21 @@ type Config struct {
 	// paper limited itself to 14.7 K requests per second on average
 	// (Appendix A).
 	QPS int
+	// Burst is the token-bucket burst capacity when QPS is set
+	// (default: Workers, so every worker can hold one token).
+	Burst int
 	// Seed drives the random probe labels.
 	Seed uint64
-	// Timeout bounds each query (default 5s).
+	// Timeout bounds each query attempt (default 5s).
 	Timeout time.Duration
+	// Retries is how many extra attempts a transport-level query
+	// failure gets before the domain's scan is abandoned (default 2;
+	// negative disables retries). With retries on, ScanErrors in the
+	// survey report reflects persistent faults, not transient loss.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt (default 50ms). Retries also pay the QPS limiter.
+	RetryBackoff time.Duration
 }
 
 // Result is one scanned domain: its facts plus scan metadata.
@@ -62,7 +73,8 @@ type Scanner struct {
 	nextID uint16
 }
 
-// New creates a scanner.
+// New creates a scanner. Call Close when done with it to release the
+// rate limiter.
 func New(cfg Config) *Scanner {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 32
@@ -70,14 +82,34 @@ func New(cfg Config) *Scanner {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 5 * time.Second
 	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 2
+	} else if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.Workers
+	}
 	s := &Scanner{
 		cfg: cfg,
 		rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x5851F42D4C957F2D)),
 	}
 	if cfg.QPS > 0 {
-		s.limiter = newTokenBucket(cfg.QPS)
+		s.limiter = newTokenBucket(cfg.QPS, cfg.Burst)
 	}
 	return s
+}
+
+// Close releases the scanner's rate limiter, waking workers blocked on
+// a token; their queries fail with ErrClosed. Safe to call more than
+// once, and a no-op for unlimited scanners.
+func (s *Scanner) Close() {
+	if s.limiter != nil {
+		s.limiter.Stop()
+	}
 }
 
 // randomLabel generates the random-subdomain probe label (cache
@@ -100,18 +132,40 @@ func (s *Scanner) id() uint16 {
 	return s.nextID
 }
 
-// query sends one recursive query (RD+CD+DO) through the resolver.
+// query sends one recursive query (RD+CD+DO) through the resolver,
+// retrying transport-level failures with exponential backoff. Every
+// attempt pays the rate limiter, so retries cannot push the scanner
+// over its QPS budget.
 func (s *Scanner) query(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
-	if s.limiter != nil {
-		if err := s.limiter.wait(ctx); err != nil {
-			return nil, err
+	backoff := s.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if s.limiter != nil {
+			if err := s.limiter.wait(ctx); err != nil {
+				return nil, err
+			}
 		}
+		actx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
+		q := dnswire.NewQuery(s.id(), qname, qtype, true)
+		q.Header.CheckingDisabled = true
+		msg, err := s.cfg.Exchanger.Exchange(actx, s.cfg.Resolver, q)
+		cancel()
+		if err == nil {
+			return msg, nil
+		}
+		lastErr = err
+		if attempt >= s.cfg.Retries || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, lastErr
+		}
+		backoff *= 2
 	}
-	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
-	defer cancel()
-	q := dnswire.NewQuery(s.id(), qname, qtype, true)
-	q.Header.CheckingDisabled = true
-	return s.cfg.Exchanger.Exchange(ctx, s.cfg.Resolver, q)
 }
 
 // ScanDomain runs the §4.1 probe sequence for one registered domain.
@@ -184,24 +238,76 @@ func (s *Scanner) ScanDomain(ctx context.Context, domain dnswire.Name) Result {
 	return res
 }
 
-// ScanAll scans domains concurrently and invokes emit for every result
-// (emit is called from multiple goroutines; it must be safe or the
-// caller serializes with a channel).
-func (s *Scanner) ScanAll(ctx context.Context, domains []dnswire.Name, emit func(Result)) error {
+// Source streams domains into ScanAll. Next returns the next domain
+// to scan, or false when the stream is exhausted. ScanAll calls Next
+// from a single goroutine, so implementations need no locking.
+type Source interface {
+	Next() (dnswire.Name, bool)
+}
+
+// sliceSource adapts an in-memory domain list.
+type sliceSource struct {
+	names []dnswire.Name
+	i     int
+}
+
+func (s *sliceSource) Next() (dnswire.Name, bool) {
+	if s.i >= len(s.names) {
+		return "", false
+	}
+	n := s.names[s.i]
+	s.i++
+	return n, true
+}
+
+// Names adapts a slice to a Source.
+func Names(names []dnswire.Name) Source {
+	return &sliceSource{names: names}
+}
+
+// Sink consumes scan results. ScanAll gives each worker its own Sink,
+// so an implementation owns its state lock-free unless sinks
+// deliberately share (a shared Encoder, say, serializes internally).
+type Sink interface {
+	Consume(Result)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Result)
+
+// Consume implements Sink.
+func (f SinkFunc) Consume(r Result) { f(r) }
+
+// ScanAll scans every domain yielded by src with the configured worker
+// pool. newSink is called once per worker, sequentially and before
+// scanning starts; each returned sink then receives only that worker's
+// results, so per-worker aggregates need no mutex — the caller merges
+// them after ScanAll returns. On context cancellation the feed stops,
+// in-flight scans drain (their results still reach the sinks, with
+// ctx errors attached), and the context's error is returned.
+func (s *Scanner) ScanAll(ctx context.Context, src Source, newSink func(worker int) Sink) error {
 	jobs := make(chan dnswire.Name)
+	sinks := make([]Sink, s.cfg.Workers)
+	for w := range sinks {
+		sinks[w] = newSink(w)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < s.cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(sink Sink) {
 			defer wg.Done()
 			for d := range jobs {
-				emit(s.ScanDomain(ctx, d))
+				sink.Consume(s.ScanDomain(ctx, d))
 			}
-		}()
+		}(sinks[w])
 	}
 	var err error
 feed:
-	for _, d := range domains {
+	for {
+		d, ok := src.Next()
+		if !ok {
+			break
+		}
 		select {
 		case jobs <- d:
 		case <-ctx.Done():
@@ -212,24 +318,6 @@ feed:
 	close(jobs)
 	wg.Wait()
 	return err
-}
-
-// tokenBucket is a simple QPS limiter.
-type tokenBucket struct {
-	tick *time.Ticker
-}
-
-func newTokenBucket(qps int) *tokenBucket {
-	return &tokenBucket{tick: time.NewTicker(time.Second / time.Duration(qps))}
-}
-
-func (b *tokenBucket) wait(ctx context.Context) error {
-	select {
-	case <-b.tick.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
 }
 
 // resultJSON is the NDJSON encoding of a Result (zdns-style output).
@@ -244,8 +332,21 @@ type resultJSON struct {
 	Error       string   `json:"error,omitempty"`
 }
 
-// Encode writes one result as a JSON line.
-func Encode(w io.Writer, r Result) error {
+// Encoder writes Results as NDJSON lines, reusing one json.Encoder
+// instead of allocating one per result. Write serializes internally,
+// so per-worker sinks can share a single Encoder over one stream.
+type Encoder struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewEncoder prepares an NDJSON encoder over w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{enc: json.NewEncoder(w)}
+}
+
+// Write emits one result as a JSON line.
+func (e *Encoder) Write(r Result) error {
 	out := resultJSON{
 		Domain:     r.Facts.Domain.String(),
 		DNSSEC:     len(r.Facts.DNSKEYs) > 0,
@@ -262,6 +363,13 @@ func Encode(w io.Writer, r Result) error {
 	if r.Err != nil {
 		out.Error = r.Err.Error()
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enc.Encode(out)
+}
+
+// Encode writes one result as a JSON line (one-shot convenience; bulk
+// writers should hold an Encoder).
+func Encode(w io.Writer, r Result) error {
+	return NewEncoder(w).Write(r)
 }

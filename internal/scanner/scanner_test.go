@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"net/netip"
 	"strings"
 	"sync"
 	"testing"
@@ -110,46 +112,218 @@ func TestScanDomainClassifications(t *testing.T) {
 	}
 }
 
-func TestScanAllConcurrent(t *testing.T) {
+// countingSink is one worker's private result store — no mutex needed,
+// the point of the per-worker sink API.
+type countingSink struct {
+	results []Result
+}
+
+func (c *countingSink) Consume(r Result) { c.results = append(c.results, r) }
+
+func TestScanAllPerWorkerSinks(t *testing.T) {
 	net, u := scanWorld(t, 300)
 	sc := newScanner(net, 0)
+	defer sc.Close()
 	names := make([]dnswire.Name, 0, 100)
 	for i := range u.Domains[:100] {
 		names = append(names, u.Domains[i].Name)
 	}
-	var mu sync.Mutex
-	var got []Result
-	err := sc.ScanAll(context.Background(), names, func(r Result) {
-		mu.Lock()
-		got = append(got, r)
-		mu.Unlock()
+	var sinks []*countingSink
+	err := sc.ScanAll(context.Background(), Names(names), func(worker int) Sink {
+		if worker != len(sinks) {
+			t.Errorf("sink factory called with worker %d, want %d", worker, len(sinks))
+		}
+		s := &countingSink{}
+		sinks = append(sinks, s)
+		return s
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 100 {
-		t.Fatalf("emitted %d results", len(got))
+	if len(sinks) != 8 {
+		t.Fatalf("%d sinks created, want one per worker", len(sinks))
 	}
-	for _, r := range got {
-		if r.Err != nil {
-			t.Fatalf("scan error for %s: %v", r.Facts.Domain, r.Err)
+	total := 0
+	seen := map[dnswire.Name]bool{}
+	for _, s := range sinks {
+		for _, r := range s.results {
+			if r.Err != nil {
+				t.Fatalf("scan error for %s: %v", r.Facts.Domain, r.Err)
+			}
+			if seen[r.Facts.Domain] {
+				t.Fatalf("domain %s scanned twice", r.Facts.Domain)
+			}
+			seen[r.Facts.Domain] = true
+			total++
 		}
+	}
+	if total != 100 {
+		t.Fatalf("emitted %d results across sinks", total)
 	}
 }
 
 func TestScanAllHonorsContext(t *testing.T) {
 	net, u := scanWorld(t, 300)
-	sc := newScanner(net, 1) // 1 qps: guaranteed to outlive the context
+	sc := New(Config{
+		Exchanger: net, Resolver: netsim.Addr4(1, 1, 1, 1),
+		Workers: 8, QPS: 1, Burst: 1, Seed: 7, // 1 qps: outlives the context
+	})
+	defer sc.Close()
 	names := make([]dnswire.Name, 0, 50)
 	for i := range u.Domains[:50] {
 		names = append(names, u.Domains[i].Name)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	err := sc.ScanAll(ctx, names, func(Result) {})
+	err := sc.ScanAll(ctx, Names(names), func(int) Sink { return SinkFunc(func(Result) {}) })
 	if err == nil {
 		t.Fatal("cancelled scan returned nil error")
 	}
+}
+
+// TestScanAllMidScanCancellation cancels from inside a sink — the
+// shape of a consumer aborting a shard mid-stream. The feed must stop,
+// in-flight work must drain, and the context error must surface.
+func TestScanAllMidScanCancellation(t *testing.T) {
+	net, u := scanWorld(t, 300)
+	sc := newScanner(net, 0)
+	defer sc.Close()
+	names := make([]dnswire.Name, 0, 200)
+	for i := range u.Domains[:200] {
+		names = append(names, u.Domains[i].Name)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	consumed := 0
+	err := sc.ScanAll(ctx, Names(names), func(int) Sink {
+		return SinkFunc(func(Result) {
+			mu.Lock()
+			consumed++
+			if consumed == 5 {
+				cancel()
+			}
+			mu.Unlock()
+		})
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if consumed < 5 || consumed == 200 {
+		t.Fatalf("consumed %d results, want partial drain", consumed)
+	}
+}
+
+// flakyExchanger fails a fixed prefix of every query's attempts: calls
+// succeed only on every (failures+1)-th global attempt. With a single
+// worker the per-query attempt pattern is deterministic.
+type flakyExchanger struct {
+	inner    netsim.Exchanger
+	failures int
+	calls    int
+	fails    int
+}
+
+func (f *flakyExchanger) Exchange(ctx context.Context, srv netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error) {
+	f.calls++
+	if f.calls%(f.failures+1) != 0 {
+		f.fails++
+		return nil, errors.New("flaky transport")
+	}
+	return f.inner.Exchange(ctx, srv, q)
+}
+
+func TestRetryBackoffRecoversTransientFailures(t *testing.T) {
+	net, u := scanWorld(t, 300)
+	flaky := &flakyExchanger{inner: net, failures: 2}
+	sc := New(Config{
+		Exchanger: flaky, Resolver: netsim.Addr4(1, 1, 1, 1),
+		Workers: 1, Seed: 7,
+		Retries: 2, RetryBackoff: time.Millisecond,
+	})
+	defer sc.Close()
+	var spec *population.DomainSpec
+	for i := range u.Domains {
+		if u.Domains[i].NSEC3 {
+			spec = &u.Domains[i]
+			break
+		}
+	}
+	r := sc.ScanDomain(context.Background(), spec.Name)
+	if r.Err != nil {
+		t.Fatalf("retries did not mask transient loss: %v", r.Err)
+	}
+	if !compliance.Classify(r.Facts).NSEC3Enabled {
+		t.Fatal("retried scan misclassified")
+	}
+	if flaky.fails == 0 {
+		t.Fatal("flaky transport never failed — test is vacuous")
+	}
+}
+
+func TestRetryGivesUpAfterBudget(t *testing.T) {
+	alwaysDown := &flakyExchanger{inner: nil, failures: 1 << 30}
+	sc := New(Config{
+		Exchanger: alwaysDown, Resolver: netsim.Addr4(1, 1, 1, 1),
+		Workers: 1, Seed: 7,
+		Retries: 3, RetryBackoff: time.Millisecond,
+	})
+	defer sc.Close()
+	r := sc.ScanDomain(context.Background(), dnswire.MustParseName("down.example"))
+	if r.Err == nil {
+		t.Fatal("scan of a dead transport succeeded")
+	}
+	// The first probe (DNSKEY) is the only query: 1 try + 3 retries.
+	if alwaysDown.calls != 4 {
+		t.Fatalf("%d transport calls, want 4 (1 try + 3 retries)", alwaysDown.calls)
+	}
+}
+
+func TestTokenBucketBurstAndRefill(t *testing.T) {
+	b := newTokenBucket(100, 5)
+	start := time.Unix(1712000000, 0)
+	for i := 0; i < 5; i++ {
+		if d := b.reserve(start); d != 0 {
+			t.Fatalf("burst token %d delayed by %v", i, d)
+		}
+	}
+	// Bucket dry: the next reservation waits one token period (10ms).
+	if d := b.reserve(start); d < 9*time.Millisecond || d > 11*time.Millisecond {
+		t.Fatalf("dry-bucket delay %v, want ~10ms", d)
+	}
+	// After a second of idling the bucket refills to its burst cap —
+	// not to one token per elapsed tick.
+	later := start.Add(time.Second)
+	for i := 0; i < 5; i++ {
+		if d := b.reserve(later); d > 0 {
+			t.Fatalf("refilled token %d delayed by %v", i, d)
+		}
+	}
+	if d := b.reserve(later); d <= 0 {
+		t.Fatal("bucket exceeded burst capacity after refill")
+	}
+}
+
+func TestTokenBucketStopWakesWaiters(t *testing.T) {
+	b := newTokenBucket(1, 1)
+	if err := b.wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- b.wait(context.Background()) }() // blocks ~1s
+	time.Sleep(10 * time.Millisecond)
+	b.Stop()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Fatalf("stopped wait returned %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Stop did not wake the blocked waiter")
+	}
+	b.Stop() // idempotent
 }
 
 func TestRandomLabelsUnique(t *testing.T) {
@@ -193,6 +367,33 @@ func TestEncodeNDJSON(t *testing.T) {
 	}
 	if decoded["nsec3param"].([]any)[0] != "1 0 5 AB" {
 		t.Fatalf("nsec3param = %v", decoded["nsec3param"])
+	}
+}
+
+// TestEncoderReuse: one Encoder shared across writes (as the per-worker
+// sinks in cmd/nsec3scan share it) emits one valid JSON object per line.
+func TestEncoderReuse(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	domains := []string{"a.example", "b.example", "c.example"}
+	for _, d := range domains {
+		r := Result{Facts: compliance.ZoneFacts{Domain: dnswire.MustParseName(d)}, Queries: 1}
+		if err := enc.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != len(domains) {
+		t.Fatalf("%d NDJSON lines, want %d", len(lines), len(domains))
+	}
+	for i, line := range lines {
+		var decoded map[string]any
+		if err := json.Unmarshal([]byte(line), &decoded); err != nil {
+			t.Fatalf("line %d invalid: %v", i, err)
+		}
+		if decoded["domain"] != domains[i]+"." {
+			t.Fatalf("line %d domain %v, want %s.", i, decoded["domain"], domains[i])
+		}
 	}
 }
 
