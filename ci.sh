@@ -23,6 +23,30 @@ go test -run='^$' -fuzz=FuzzHash -fuzztime=5s ./internal/nsec3/
 echo "== bench smoke (sharded survey, 1 iteration) =="
 go test -run='^$' -bench=Survey -benchtime=1x .
 
+echo "== metrics smoke (authd -metrics, /healthz + /metrics) =="
+SMOKE_DIR=$(mktemp -d)
+go build -o "$SMOKE_DIR/authd" ./cmd/authd
+"$SMOKE_DIR/authd" -testbed -listen 127.0.0.1:0 -metrics 127.0.0.1:0 \
+  >"$SMOKE_DIR/authd.log" 2>&1 &
+AUTHD_PID=$!
+cleanup() {
+  kill "$AUTHD_PID" 2>/dev/null || true
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+# authd prints the bound metrics address once the listener is up.
+METRICS_URL=""
+for _ in $(seq 1 100); do
+  METRICS_URL=$(sed -n 's#^authd: metrics on \(http://[^ ]*\)$#\1#p' "$SMOKE_DIR/authd.log")
+  [ -n "$METRICS_URL" ] && break
+  sleep 0.1
+done
+[ -n "$METRICS_URL" ] || { echo "authd never exposed /metrics"; cat "$SMOKE_DIR/authd.log"; exit 1; }
+curl -fsS "${METRICS_URL%/metrics}/healthz" | grep -qx 'ok'
+curl -fsS "$METRICS_URL" | grep -q '^authd_zones '
+curl -fsS "$METRICS_URL" | grep -q '^authd_queries_total '
+echo "metrics smoke OK ($METRICS_URL)"
+
 echo "== reprolint =="
 go run ./cmd/reprolint ./...
 

@@ -3,7 +3,7 @@
 // rfc9276-in-the-wild.com played.
 //
 //	authd -listen 127.0.0.1:5300 -zone example.com.=zone.db \
-//	      [-nsec3] [-iterations N] [-salt hex] [-optout]
+//	      [-nsec3] [-iterations N] [-salt hex] [-optout] [-metrics :9090]
 //
 // With -testbed, authd instead serves the paper's full 49-subdomain
 // measurement testbed (each subdomain a separately signed zone with its
@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"net/netip"
 	"os"
 	"os/signal"
 	"strings"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
 	"repro/internal/nsec3"
+	"repro/internal/obs"
 	"repro/internal/testbed"
 	"repro/internal/zone"
 )
@@ -45,6 +48,7 @@ func run() error {
 		saltHex    = flag.String("salt", "", "NSEC3 salt (hex)")
 		optOut     = flag.Bool("optout", false, "NSEC3 opt-out flag")
 		serveTB    = flag.Bool("testbed", false, "serve the rfc9276-in-the-wild.com testbed instead of -zone")
+		metrics    = flag.String("metrics", "", "serve /metrics and /healthz on this address")
 	)
 	flag.Parse()
 
@@ -118,7 +122,26 @@ func run() error {
 		return fmt.Errorf("one of -zone or -testbed is required")
 	}
 
-	real := &netsim.Server{Handler: srv}
+	var handler netsim.Handler = srv
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		reg.Gauge("authd_zones", "signed zones currently served").Set(float64(len(srv.Zones())))
+		queries := reg.Counter("authd_queries_total", "DNS queries handled over UDP and TCP")
+		inner := handler
+		handler = netsim.HandlerFunc(func(ctx context.Context, from netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+			queries.Inc()
+			return inner.Handle(ctx, from, q)
+		})
+		bound, stop, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			return err
+		}
+		// Best-effort teardown: the process is exiting anyway.
+		defer func() { _ = stop() }()
+		fmt.Printf("authd: metrics on http://%s/metrics\n", bound)
+	}
+
+	real := &netsim.Server{Handler: handler}
 	addr, err := real.Listen(*listen)
 	if err != nil {
 		return err

@@ -14,6 +14,9 @@
 //
 //	-scale divides the paper's population sizes (default 10000 for
 //	domains, 200 for resolvers); -seed fixes the universe.
+//
+//	-metrics :9090 serves /metrics + /healthz while experiments run;
+//	-trace trace.ndjson records per-shard survey phase timings.
 package main
 
 import (
@@ -26,8 +29,10 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/compliance"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/respop"
+	"repro/internal/scanner"
 )
 
 func main() {
@@ -52,12 +57,37 @@ func run() error {
 		dScale   = flag.Int("domain-scale", 10000, "divide the 302 M-domain universe by this")
 		rScale   = flag.Int("resolver-scale", 200, "divide the resolver fleet by this")
 		tScale   = flag.Int("tranco-scale", 100, "divide the 1 M Tranco list by this")
+		metrics  = flag.String("metrics", "", "serve /metrics and /healthz on this address while running")
+		traceOut = flag.String("trace", "", "append survey phase spans to this NDJSON file")
 	)
 	flag.Parse()
 	if !(*table1 || *fig1 || *fig2 || *table2 || *tlds || *fig3 || *timeline) {
 		*all = true
 	}
 	ctx := context.Background()
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		bound, stop, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			return err
+		}
+		// Best-effort teardown: the process is exiting anyway.
+		defer func() { _ = stop() }()
+		fmt.Fprintf(os.Stderr, "repro: metrics on http://%s/metrics\n", bound)
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		// Spans are flushed line-by-line by the encoder; Close only
+		// releases the descriptor.
+		defer func() { _ = f.Close() }()
+		tracer = obs.NewTracer(scanner.NewEncoder(f))
+	}
 
 	if *all || *table1 {
 		printTable1()
@@ -72,6 +102,8 @@ func run() error {
 			Registered: population.FullRegistered / *dScale,
 			Seed:       *seed,
 			Shards:     *shards,
+			Obs:        reg,
+			Trace:      tracer,
 		})
 		if err != nil {
 			return err

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/netip"
@@ -23,6 +24,7 @@ import (
 
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/resolver"
 	"repro/internal/respop"
 )
@@ -40,6 +42,7 @@ func run() error {
 		rootArg = flag.String("root", "", "root name server address (required)")
 		anchor  = flag.String("anchor", "", "trust anchor DS RDATA: 'keytag alg digesttype hex' (empty = no validation)")
 		profile = flag.String("profile", "bind9-2021", "policy profile name")
+		metrics = flag.String("metrics", "", "serve /metrics and /healthz on this address")
 	)
 	flag.Parse()
 	if *rootArg == "" {
@@ -76,8 +79,27 @@ func run() error {
 		}
 		cfg.TrustAnchor = []dnswire.DS{ds}
 	}
-	res := resolver.New(cfg)
-	srv := &netsim.Server{Handler: res}
+	var handler netsim.Handler
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		cfg.Obs = reg
+		queries := reg.Counter("resolved_queries_total", "client queries handled over UDP and TCP")
+		res := resolver.New(cfg)
+		handler = netsim.HandlerFunc(func(ctx context.Context, from netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+			queries.Inc()
+			return res.Handle(ctx, from, q)
+		})
+		bound, stop, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			return err
+		}
+		// Best-effort teardown: the process is exiting anyway.
+		defer func() { _ = stop() }()
+		fmt.Printf("resolved: metrics on http://%s/metrics\n", bound)
+	} else {
+		handler = resolver.New(cfg)
+	}
+	srv := &netsim.Server{Handler: handler}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		return err

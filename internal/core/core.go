@@ -28,8 +28,10 @@ import (
 	"repro/internal/compliance"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/scanner"
+	"repro/internal/testbed"
 )
 
 // Default simulation clock: signatures valid around this instant.
@@ -57,6 +59,14 @@ type SurveyConfig struct {
 	// — every domain is generated from its own index-derived stream
 	// (default 1).
 	Shards int
+	// Obs, when set, receives pipeline metrics: survey progress
+	// counters plus the scanner's, resolver's, and network's own
+	// instrumentation. The registry never feeds back into the report,
+	// so results are identical with or without it.
+	Obs *obs.Registry
+	// Trace, when set, receives one NDJSON span per pipeline phase
+	// per shard (generate, deploy, scan, merge).
+	Trace *obs.Tracer
 }
 
 // SurveyReport is the evaluated §5.1 output. Every field is a merged
@@ -91,6 +101,11 @@ type surveySink struct {
 	agg        *compliance.Aggregate
 	ops        *analysis.OperatorStats // nil for the TLD scan
 	scanErrors int
+	// mScanned / mIterWork are shared across sinks (atomic, nil-safe):
+	// domains scanned and the Gruza et al. per-domain verification
+	// cost 1+iterations — both order-independent totals.
+	mScanned  *obs.Counter
+	mIterWork *obs.Counter
 }
 
 // Consume implements scanner.Sink.
@@ -99,8 +114,12 @@ func (s *surveySink) Consume(r scanner.Result) {
 		s.scanErrors++
 		return
 	}
+	s.mScanned.Inc()
 	c := compliance.Classify(r.Facts)
 	s.agg.Add(c)
+	if c.NSEC3Enabled {
+		s.mIterWork.Add(uint64(1 + c.Iterations))
+	}
 	if s.ops != nil && c.NSEC3Enabled {
 		s.ops.Add(operatorKeys(r.Facts.NSHosts), c.Iterations, c.SaltLen)
 	}
@@ -140,15 +159,26 @@ func RunSurvey(ctx context.Context, cfg SurveyConfig) (*SurveyReport, error) {
 		}
 	}
 	transferred := make(map[string]bool)
-	for {
+	run := &surveyRun{
+		cfg:       cfg,
+		cache:     testbed.NewSignCache(),
+		mScanned:  cfg.Obs.Counter("survey_domains_scanned_total", "registered domains scanned successfully"),
+		mIterWork: cfg.Obs.Counter("survey_nsec3_iteration_work_total", "cumulative 1+iterations over scanned NSEC3 zones (Gruza et al. verification cost)"),
+		mSigned:   cfg.Obs.Counter("survey_zones_signed_total", "shared infrastructure zones signed fresh during deployment"),
+		mReused:   cfg.Obs.Counter("survey_zones_reused_total", "shared infrastructure zones served from the sign cache"),
+		mRate:     cfg.Obs.Gauge("survey_domains_per_second", "cumulative registered-domain scan throughput"),
+	}
+	for index := 0; ; index++ {
+		gen := cfg.Trace.Start("generate", index)
 		shard, err := cur.Next()
+		gen.End()
 		if err != nil {
 			return nil, err
 		}
 		if shard == nil {
 			break
 		}
-		if err := scanShard(ctx, cfg, shard, report, idTLD, transferred); err != nil {
+		if err := run.scanShard(ctx, shard, report, idTLD, transferred); err != nil {
 			return nil, err
 		}
 	}
@@ -164,19 +194,43 @@ func RunSurvey(ctx context.Context, cfg SurveyConfig) (*SurveyReport, error) {
 	return report, nil
 }
 
+// surveyRun carries the per-run machinery shared by every shard: the
+// sign cache that deduplicates infrastructure signing across shard
+// deployments, and the obs counters (all no-op without Config.Obs).
+// Scan-throughput bookkeeping sums span durations so the tracer stays
+// the run's only clock.
+type surveyRun struct {
+	cfg       SurveyConfig
+	cache     *testbed.SignCache
+	mScanned  *obs.Counter
+	mIterWork *obs.Counter
+	mSigned   *obs.Counter
+	mReused   *obs.Counter
+	mRate     *obs.Gauge
+
+	scannedDomains int
+	scanSeconds    float64
+}
+
 // scanShard deploys one shard, scans it, and merges its aggregates
 // into the report. The TLD registry is scanned end-to-end only on
 // shard 0 — every shard's deployment signs the TLD zones with the same
 // registry parameters, so once is enough. The AXFR delegation count
 // runs per shard: a shard's TLD zones delegate exactly that shard's
 // domains, so the per-shard counts sum to the whole-universe total.
-func scanShard(ctx context.Context, cfg SurveyConfig, shard *population.Shard, report *SurveyReport, idTLD, transferred map[string]bool) error {
+func (run *surveyRun) scanShard(ctx context.Context, shard *population.Shard, report *SurveyReport, idTLD, transferred map[string]bool) error {
+	cfg := run.cfg
 	u := shard.Universe
-	dep, err := population.Deploy(u, netsim.NewNetwork(cfg.Seed+uint64(shard.Index)), DefaultInception, DefaultExpiration)
+	deploySpan := cfg.Trace.Start("deploy", shard.Index)
+	dep, err := population.DeployWith(u, netsim.NewNetwork(cfg.Seed+uint64(shard.Index)), DefaultInception, DefaultExpiration,
+		population.DeployOptions{SignCache: run.cache})
 	if err != nil {
 		return err
 	}
-	resolverAddr, err := installScanResolver(dep.Hierarchy)
+	run.mSigned.Add(uint64(dep.Hierarchy.ZonesSigned))
+	run.mReused.Add(uint64(dep.Hierarchy.ZonesReused))
+	dep.Hierarchy.Net.Instrument(cfg.Obs)
+	resolverAddr, err := installScanResolver(dep.Hierarchy, cfg.Obs)
 	if err != nil {
 		return err
 	}
@@ -186,31 +240,31 @@ func scanShard(ctx context.Context, cfg SurveyConfig, shard *population.Shard, r
 		Workers:   cfg.Workers,
 		QPS:       cfg.QPS,
 		Seed:      cfg.Seed + 1 + uint64(shard.Index),
+		Obs:       cfg.Obs,
 	})
 	defer sc.Close()
+	deploySpan.End()
 
 	// Scan this shard's registered domains into per-worker sinks.
 	names := make([]dnswire.Name, len(u.Domains))
 	for i := range u.Domains {
 		names[i] = u.Domains[i].Name
 	}
+	scanSpan := cfg.Trace.Start("scan", shard.Index)
 	sinks := make([]*surveySink, 0, cfg.Workers)
 	err = sc.ScanAll(ctx, scanner.Names(names), func(int) scanner.Sink {
-		s := &surveySink{agg: compliance.NewAggregate(), ops: analysis.NewOperatorStats()}
+		s := &surveySink{
+			agg: compliance.NewAggregate(), ops: analysis.NewOperatorStats(),
+			mScanned: run.mScanned, mIterWork: run.mIterWork,
+		}
 		sinks = append(sinks, s)
 		return s
 	})
 	if err != nil {
 		return err
 	}
-	for _, s := range sinks {
-		report.Agg.Merge(s.agg)
-		report.Operators.Merge(s.ops)
-		report.ScanErrors += s.scanErrors
-	}
-
 	if shard.Index == 0 {
-		if err := scanTLDs(ctx, sc, u.TLDs, report); err != nil {
+		if err := run.scanTLDs(ctx, sc, u.TLDs, report); err != nil {
 			return err
 		}
 	}
@@ -247,11 +301,27 @@ func scanShard(ctx context.Context, cfg SurveyConfig, shard *population.Shard, r
 			report.DomainsUnderIDTLDs += listCounts[t.Name]
 		}
 	}
+
+	// The tracer owns the wall clock: throughput is derived from span
+	// durations rather than read directly, keeping core deterministic.
+	run.scannedDomains += len(u.Domains)
+	run.scanSeconds += scanSpan.End().Seconds()
+	if run.scanSeconds > 0 {
+		run.mRate.Set(float64(run.scannedDomains) / run.scanSeconds)
+	}
+
+	mergeSpan := cfg.Trace.Start("merge", shard.Index)
+	defer mergeSpan.End()
+	for _, s := range sinks {
+		report.Agg.Merge(s.agg)
+		report.Operators.Merge(s.ops)
+		report.ScanErrors += s.scanErrors
+	}
 	return nil
 }
 
 // scanTLDs pushes the TLD registry through the same scan pipeline.
-func scanTLDs(ctx context.Context, sc *scanner.Scanner, tlds []population.TLDSpec, report *SurveyReport) error {
+func (run *surveyRun) scanTLDs(ctx context.Context, sc *scanner.Scanner, tlds []population.TLDSpec, report *SurveyReport) error {
 	names := make([]dnswire.Name, 0, len(tlds))
 	for _, t := range tlds {
 		n, err := dnswire.FromLabels(t.Name)
@@ -262,7 +332,9 @@ func scanTLDs(ctx context.Context, sc *scanner.Scanner, tlds []population.TLDSpe
 	}
 	var sinks []*surveySink
 	err := sc.ScanAll(ctx, scanner.Names(names), func(int) scanner.Sink {
-		s := &surveySink{agg: compliance.NewAggregate()}
+		// TLD scans charge iteration work but not the domain counter —
+		// survey_domains_scanned_total means registered domains.
+		s := &surveySink{agg: compliance.NewAggregate(), mIterWork: run.mIterWork}
 		sinks = append(sinks, s)
 		return s
 	})

@@ -2,14 +2,17 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/analysis"
 	"repro/internal/compliance"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/respop"
+	"repro/internal/scanner"
 )
 
 // TestSurveyEndToEnd runs the full §4.1 pipeline at a small scale and
@@ -146,6 +149,105 @@ func TestSurveyShardEquivalence(t *testing.T) {
 	}
 	if whole.Agg.Total != 900 || sharded.Agg.Total != 900 {
 		t.Fatalf("totals %d/%d, want 900", whole.Agg.Total, sharded.Agg.Total)
+	}
+}
+
+// TestSurveyMetricsShardMerge is the observability counterpart of
+// TestSurveyShardEquivalence: the order-independent counters must be
+// identical between an unsharded and a sharded run of the same
+// universe, and the sign cache must show reuse across shards.
+func TestSurveyMetricsShardMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end survey is slow")
+	}
+	run := func(shards int) *obs.Registry {
+		t.Helper()
+		reg := obs.NewRegistry()
+		report, err := RunSurvey(context.Background(), SurveyConfig{
+			Registered: 600,
+			Seed:       5,
+			Shards:     shards,
+			Obs:        reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.ScanErrors > 0 {
+			t.Fatalf("shards=%d: %d scan errors", shards, report.ScanErrors)
+		}
+		return reg
+	}
+	whole := run(1)
+	sharded := run(3)
+	counter := func(reg *obs.Registry, name string) uint64 {
+		return reg.Counter(name, "").Value()
+	}
+	for _, name := range []string{
+		"survey_domains_scanned_total",
+		"survey_nsec3_iteration_work_total",
+		"scanner_queries_total",
+	} {
+		w, s := counter(whole, name), counter(sharded, name)
+		if w != s {
+			t.Errorf("%s: shards=1 %d vs shards=3 %d", name, w, s)
+		}
+		if w == 0 {
+			t.Errorf("%s never incremented", name)
+		}
+	}
+	if got := counter(whole, "survey_domains_scanned_total"); got != 600 {
+		t.Errorf("survey_domains_scanned_total %d, want 600", got)
+	}
+	// A single deployment signs everything fresh; three deployments
+	// reuse the shard-independent zones (root, operator infra, empty
+	// TLDs) from the sign cache.
+	if counter(whole, "survey_zones_reused_total") != 0 {
+		t.Error("unsharded run should not reuse zones")
+	}
+	if counter(sharded, "survey_zones_reused_total") == 0 {
+		t.Error("sharded run never hit the sign cache")
+	}
+	// Upstream work happened and the throughput gauge moved.
+	if counter(whole, "resolver_upstream_queries_total") == 0 {
+		t.Error("resolver_upstream_queries_total never incremented")
+	}
+	if whole.Gauge("survey_domains_per_second", "").Value() <= 0 {
+		t.Error("survey_domains_per_second gauge not set")
+	}
+}
+
+// TestSurveyTraceSpans checks the tracer emits one generate/deploy/
+// scan/merge span per shard over the scanner's NDJSON encoder.
+func TestSurveyTraceSpans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end survey is slow")
+	}
+	var buf strings.Builder
+	enc := scanner.NewEncoder(&buf)
+	_, err := RunSurvey(context.Background(), SurveyConfig{
+		Registered: 300,
+		Seed:       5,
+		Shards:     2,
+		Trace:      obs.NewTracer(enc),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type span struct {
+		Span  string `json:"span"`
+		Shard int    `json:"shard"`
+	}
+	got := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var sp span
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("bad span line %q: %v", line, err)
+		}
+		got[sp.Span]++
+	}
+	// generate runs once per cursor call including the exhausted one.
+	if got["generate"] < 2 || got["deploy"] != 2 || got["scan"] != 2 || got["merge"] != 2 {
+		t.Errorf("span counts: %v", got)
 	}
 }
 

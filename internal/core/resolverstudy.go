@@ -11,6 +11,7 @@ import (
 	"repro/internal/compliance"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/resolver"
 	"repro/internal/respop"
 	"repro/internal/testbed"
@@ -19,8 +20,8 @@ import (
 
 // installScanResolver registers a Cloudflare-like recursive resolver
 // on a hierarchy's network (the measurement resolver of §4.1) and
-// returns its address.
-func installScanResolver(h *testbed.Hierarchy) (netip.AddrPort, error) {
+// returns its address. reg (nil ok) receives the resolver's metrics.
+func installScanResolver(h *testbed.Hierarchy, reg *obs.Registry) (netip.AddrPort, error) {
 	addr := netsim.Addr4(1, 1, 1, 1)
 	res := resolver.New(resolver.Config{
 		Roots:           h.Roots,
@@ -29,6 +30,7 @@ func installScanResolver(h *testbed.Hierarchy) (netip.AddrPort, error) {
 		Policy:          respop.Cloudflare.Policy,
 		Now:             func() uint32 { return DefaultNow },
 		MaxCacheEntries: 1 << 16,
+		Obs:             reg,
 	})
 	h.Net.Register(addr, res)
 	return addr, nil

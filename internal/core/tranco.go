@@ -63,7 +63,7 @@ func RunTrancoStudy(ctx context.Context, cfg TrancoConfig) (*TrancoReport, error
 	if err != nil {
 		return nil, err
 	}
-	resolverAddr, err := installScanResolver(dep.Hierarchy)
+	resolverAddr, err := installScanResolver(dep.Hierarchy, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -20,14 +20,22 @@ import (
 //   - output that depends on map iteration order: inside a
 //     range-over-map, writing directly to an output sink or appending
 //     to a slice that is not sorted afterwards in the same block.
+//
+// internal/obs is in scope because its rendered /metrics output and
+// merged counters must not depend on map order or ambient entropy.
+// Its tracer file is the one sanctioned exemption: a phase tracer's
+// entire job is reading the wall clock, span durations feed only the
+// observability side channel (never a report), and obs/trace.go
+// documents that contract in its header.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock reads, global rand-source draws, and " +
 		"map-iteration-order-dependent output in the deterministic " +
 		"population/analysis layers",
-	Packages:   []string{"internal/population", "internal/respop", "internal/analysis"},
-	ExtraFiles: []string{"internal/core/timeline.go"},
-	Run:        runDeterminism,
+	Packages:    []string{"internal/population", "internal/respop", "internal/analysis", "internal/obs"},
+	ExtraFiles:  []string{"internal/core/timeline.go"},
+	ExemptFiles: []string{"internal/obs/trace.go"},
+	Run:         runDeterminism,
 }
 
 func runDeterminism(pass *Pass) {

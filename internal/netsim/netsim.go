@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 )
 
 // Exchanger sends one DNS query to a server and returns its response.
@@ -63,6 +64,10 @@ type Network struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// mLost / mLatency count fault injections (nil without Instrument).
+	mLost    *obs.Counter
+	mLatency *obs.Counter
 }
 
 // NewNetwork creates a lossless, zero-latency network with a seeded RNG
@@ -72,6 +77,19 @@ func NewNetwork(seed uint64) *Network {
 		hosts: make(map[netip.AddrPort]Handler),
 		rng:   rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15)),
 	}
+}
+
+// Instrument attaches fault-injection counters from reg: every
+// dropped packet and every injected latency delay is counted. A nil
+// registry leaves the network uninstrumented.
+func (n *Network) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	n.mLost = reg.Counter("netsim_packets_lost_total",
+		"queries dropped by the simulated network's loss injection")
+	n.mLatency = reg.Counter("netsim_latency_injections_total",
+		"exchanges delayed by the simulated network's latency injection")
 }
 
 // Register attaches a handler at addr, replacing any previous one.
@@ -119,10 +137,12 @@ func (n *Network) Exchange(ctx context.Context, server netip.AddrPort, query *dn
 		lost := n.rng.Float64() < n.LossRate
 		n.rngMu.Unlock()
 		if lost {
+			n.mLost.Inc()
 			return nil, fmt.Errorf("%w: to %s", ErrPacketLost, server)
 		}
 	}
 	if n.Latency > 0 {
+		n.mLatency.Inc()
 		t := time.NewTimer(2 * n.Latency)
 		defer t.Stop()
 		select {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 )
 
 // echoHandler answers every query with NOERROR and a fixed TXT record.
@@ -91,6 +92,32 @@ func TestNetworkLoss(t *testing.T) {
 	}
 	if lost < 120 || lost > 280 {
 		t.Fatalf("lost %d/400 at 50 %% loss", lost)
+	}
+}
+
+func TestNetworkFaultInjectionMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	n := NewNetwork(7)
+	n.Instrument(reg)
+	n.LossRate = 1.0
+	addr := Addr4(192, 0, 2, 9)
+	n.Register(addr, echoHandler{})
+	q := dnswire.NewQuery(1, dnswire.MustParseName("x."), dnswire.TypeA, false)
+	for i := 0; i < 3; i++ {
+		if _, err := n.Exchange(context.Background(), addr, q); !errors.Is(err, ErrPacketLost) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if got := reg.Counter("netsim_packets_lost_total", "").Value(); got != 3 {
+		t.Errorf("netsim_packets_lost_total %d, want 3", got)
+	}
+	n.LossRate = 0
+	n.Latency = time.Millisecond
+	if _, err := n.Exchange(context.Background(), addr, q); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("netsim_latency_injections_total", "").Value(); got != 1 {
+		t.Errorf("netsim_latency_injections_total %d, want 1", got)
 	}
 }
 

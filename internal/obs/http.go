@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+)
+
+// NewHandler serves reg over HTTP: GET /metrics renders the Prometheus
+// text exposition, GET /healthz answers "ok" — the two endpoints a
+// production scrape-and-probe loop needs, on net/http alone.
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Best-effort: a probe that hung up mid-reply is still healthy.
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Best-effort for the same reason: the scraper owns the socket.
+		_ = reg.WritePrometheus(w)
+	})
+	return mux
+}
+
+// Serve exposes reg on addr (host:port; port 0 picks a free one) and
+// returns the bound address plus a shutdown function. The server runs
+// until the shutdown function is called.
+func Serve(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewHandler(reg)}
+	go func() {
+		// Serve returns http.ErrServerClosed on shutdown — the normal
+		// exit path, nothing to report.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// render gives a registry's canonical, order-stable text form — the
+// comparison key for the merge property tests.
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+// randomRegistry builds a registry with seeded-random metric activity
+// over a shared name space, so merges exercise overlapping and
+// disjoint names alike.
+func randomRegistry(seed uint64) *Registry {
+	rng := rand.New(rand.NewPCG(seed, seed^0xABCD))
+	r := NewRegistry()
+	names := []string{"alpha_total", "beta_total", "gamma_total"}
+	for i := 0; i < 50; i++ {
+		r.Counter(names[rng.IntN(len(names))], "test counter").Add(uint64(rng.IntN(100)))
+	}
+	r.Gauge("rate", "test gauge").Set(rng.Float64() * 100)
+	h := r.Histogram("lat_seconds", "test histogram", DurationBuckets())
+	for i := 0; i < 30; i++ {
+		// Multiples of 1/64 sum exactly in float64, so the merge
+		// property can be checked bit-for-bit rather than with an
+		// epsilon (plain IEEE addition is not associative).
+		h.Observe(float64(rng.IntN(64*5)) / 64)
+	}
+	return r
+}
+
+// TestRegistryMergeOrderIndependence is the property the sharded
+// pipeline depends on (mirroring TestSurveyShardEquivalence): merging
+// per-shard registries must be commutative and associative, so the
+// merge order never shows in the totals.
+func TestRegistryMergeOrderIndependence(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		// Commutativity: a+b == b+a.
+		ab := randomRegistry(seed)
+		if err := ab.Merge(randomRegistry(seed + 100)); err != nil {
+			t.Fatal(err)
+		}
+		ba := randomRegistry(seed + 100)
+		if err := ba.Merge(randomRegistry(seed)); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := render(t, ab), render(t, ba); got != want {
+			t.Errorf("seed %d: merge not commutative:\na+b:\n%s\nb+a:\n%s", seed, got, want)
+		}
+
+		// Associativity: (a+b)+c == a+(b+c).
+		left := randomRegistry(seed)
+		if err := left.Merge(randomRegistry(seed + 100)); err != nil {
+			t.Fatal(err)
+		}
+		if err := left.Merge(randomRegistry(seed + 200)); err != nil {
+			t.Fatal(err)
+		}
+		bc := randomRegistry(seed + 100)
+		if err := bc.Merge(randomRegistry(seed + 200)); err != nil {
+			t.Fatal(err)
+		}
+		right := randomRegistry(seed)
+		if err := right.Merge(bc); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := render(t, left), render(t, right); got != want {
+			t.Errorf("seed %d: merge not associative:\n(a+b)+c:\n%s\na+(b+c):\n%s", seed, got, want)
+		}
+	}
+}
+
+// TestConcurrentIncrements drives every metric type from many
+// goroutines; run under -race this is the registry's thread-safety
+// proof, and the final values prove no increment was lost.
+func TestConcurrentIncrements(t *testing.T) {
+	const workers, perWorker = 16, 1000
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("work_total", "")
+			h := r.Histogram("vals", "", []float64{0.25, 0.5, 0.75})
+			g := r.Gauge("level", "")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i%4) / 4)
+				g.Set(float64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("work_total", "").Value(); got != workers*perWorker {
+		t.Errorf("counter lost increments: got %d want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("vals", "", []float64{0.25, 0.5, 0.75})
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram lost observations: got %d want %d", got, workers*perWorker)
+	}
+	wantSum := float64(workers*perWorker) * (0 + 0.25 + 0.5 + 0.75) / 4
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum: got %g want %g", got, wantSum)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter should stay 0")
+	}
+	g := r.Gauge("y", "")
+	g.Set(5)
+	if g.Value() != 0 {
+		t.Error("nil gauge should stay 0")
+	}
+	h := r.Histogram("z", "", DurationBuckets())
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram should stay empty")
+	}
+	if err := r.Merge(NewRegistry()); err != nil {
+		t.Errorf("nil registry merge: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry render: %v, %q", err, buf.String())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := h.writePrometheus(&buf, "d"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`d_bucket{le="1"} 2`,    // 0.5 and the boundary value 1
+		`d_bucket{le="2"} 3`,    // + 1.5
+		`d_bucket{le="4"} 4`,    // + 3
+		`d_bucket{le="+Inf"} 5`, // + 100
+		"d_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramMergeBucketMismatch(t *testing.T) {
+	a := NewRegistry().Histogram("h", "", []float64{1, 2})
+	b := NewRegistry().Histogram("h", "", []float64{1, 3})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of mismatched buckets should fail")
+	}
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Histogram("h", "", []float64{1, 2})
+	rb.Histogram("h", "", []float64{1, 3})
+	if err := ra.Merge(rb); err == nil {
+		t.Fatal("registry merge of mismatched buckets should fail")
+	}
+}
+
+func TestGaugeMergeIsMax(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Gauge("g", "").Set(3)
+	b.Gauge("g", "").Set(7)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Gauge("g", "").Value(); got != 7 {
+		t.Errorf("gauge merge: got %g want 7", got)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scanner_queries_total", "DNS queries issued").Add(42)
+	r.Gauge("survey_domains_per_second", "scan throughput").Set(123.5)
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP scanner_queries_total DNS queries issued",
+		"# TYPE scanner_queries_total counter",
+		"scanner_queries_total 42",
+		"# TYPE survey_domains_per_second gauge",
+		"survey_domains_per_second 123.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

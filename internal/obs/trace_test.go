@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// bufLineWriter is a minimal LineWriter capturing emitted values.
+type bufLineWriter struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (b *bufLineWriter) WriteAny(v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.lines = append(b.lines, string(raw))
+	b.mu.Unlock()
+	return nil
+}
+
+func TestTracerEmitsSpans(t *testing.T) {
+	w := &bufLineWriter{}
+	tr := NewTracer(w)
+	sp := tr.Start("deploy", 2)
+	d := sp.End()
+	if d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+	if sp.End() != d {
+		t.Error("End should be idempotent")
+	}
+	if len(w.lines) != 1 {
+		t.Fatalf("want 1 span line, got %d", len(w.lines))
+	}
+	var rec struct {
+		Span       string `json:"span"`
+		Shard      int    `json:"shard"`
+		DurationNS int64  `json:"duration_ns"`
+	}
+	if err := json.Unmarshal([]byte(w.lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Span != "deploy" || rec.Shard != 2 {
+		t.Errorf("bad span record: %+v", rec)
+	}
+	if rec.DurationNS != int64(d) {
+		t.Errorf("duration mismatch: %d vs %d", rec.DurationNS, int64(d))
+	}
+}
+
+func TestNilTracerStillTimes(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("scan", 0)
+	if d := sp.End(); d < 0 {
+		t.Errorf("nil tracer span: negative duration %v", d)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "a demo counter").Add(9)
+	addr, stop, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	}()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "demo_total 9") {
+		t.Errorf("metrics: %d %q", code, body)
+	}
+}

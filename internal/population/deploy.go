@@ -31,10 +31,26 @@ type Deployment struct {
 // Every domain zone gets: apex A, "www" A, and an MX — enough surface
 // that a random-subdomain probe triggers a genuine negative response.
 func Deploy(u *Universe, net *netsim.Network, inception, expiration uint32) (*Deployment, error) {
+	return DeployWith(u, net, inception, expiration, DeployOptions{})
+}
+
+// DeployOptions tunes a deployment.
+type DeployOptions struct {
+	// SignCache, when set, reuses signing keys and signed zones for
+	// the shard-independent infrastructure (root, TLD registry,
+	// operator zones) across repeated deployments — the sharded
+	// survey's loop. Domain zones are never cached.
+	SignCache *testbed.SignCache
+}
+
+// DeployWith is Deploy with explicit options.
+func DeployWith(u *Universe, net *netsim.Network, inception, expiration uint32, opts DeployOptions) (*Deployment, error) {
 	b := testbed.NewBuilder(inception, expiration)
+	b.Cache = opts.SignCache
 	b.AddZone(testbed.ZoneSpec{
 		Apex:   dnswire.Root,
 		Sign:   zone.SignConfig{Denial: zone.DenialNSEC},
+		Shared: true,
 		Server: netsim.Addr4(198, 41, 0, 4),
 	})
 
@@ -62,7 +78,7 @@ func Deploy(u *Universe, net *netsim.Network, inception, expiration uint32) (*De
 			cfg.Denial = zone.DenialNSEC
 		}
 		b.AddZone(testbed.ZoneSpec{
-			Apex: apex, Sign: cfg, Unsigned: !tld.DNSSEC, Server: addr,
+			Apex: apex, Sign: cfg, Unsigned: !tld.DNSSEC, Shared: true, Server: addr,
 		})
 	}
 
@@ -86,6 +102,7 @@ func Deploy(u *Universe, net *netsim.Network, inception, expiration uint32) (*De
 					TTL: 3600, Data: dnswire.A{Addr: addr.Addr()}})
 			},
 			Sign:   zone.SignConfig{Denial: zone.DenialNSEC},
+			Shared: true,
 			Server: addr,
 		})
 	}
@@ -98,7 +115,7 @@ func Deploy(u *Universe, net *netsim.Network, inception, expiration uint32) (*De
 			addr := netsim.Addr4(192, 7, 0, byte(len(tldAddrs)))
 			tldAddrs[tld.Labels()[0]] = addr
 			b.AddZone(testbed.ZoneSpec{
-				Apex: tld, Sign: zone.SignConfig{Denial: zone.DenialNSEC}, Server: addr,
+				Apex: tld, Sign: zone.SignConfig{Denial: zone.DenialNSEC}, Shared: true, Server: addr,
 			})
 		}
 	}

@@ -94,8 +94,10 @@ func (r *Resolver) tryAggressive(qname dnswire.Name) (*Result, bool) {
 		return nil, false
 	}
 	if _, ok := r.aggressive.synthesize(qname, r.cfg.Now()); !ok {
+		r.met.aggrMisses.Inc()
 		return nil, false
 	}
+	r.met.aggrHits.Inc()
 	res := &Result{
 		RCode:  dnswire.RCodeNXDomain,
 		Status: StatusSecure,

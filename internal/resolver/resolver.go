@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // SecurityStatus is the RFC 4035 §4.3 classification of a response.
@@ -113,6 +114,10 @@ type Config struct {
 	Now func() uint32
 	// MaxCacheEntries bounds each internal cache (default 4096).
 	MaxCacheEntries int
+	// Obs, when set, receives resolver metrics (upstream query count,
+	// aggressive-cache hits/misses, NSEC3 hash work). Nil disables
+	// instrumentation.
+	Obs *obs.Registry
 }
 
 // Resolver is a validating recursive resolver. It implements
@@ -128,6 +133,10 @@ type Resolver struct {
 	// aggressive is the RFC 8198 validated-denial cache (nil unless
 	// the policy enables it).
 	aggressive *aggressiveCache
+
+	// met holds the observability counters (all no-op without
+	// Config.Obs).
+	met metrics
 }
 
 type cacheKey struct {
@@ -170,6 +179,7 @@ func New(cfg Config) *Resolver {
 		cfg:       cfg,
 		msgCache:  make(map[cacheKey]*cacheEntry),
 		zoneCache: make(map[dnswire.Name]*zoneTrust),
+		met:       newMetrics(cfg.Obs),
 	}
 	if cfg.Policy.AggressiveNSEC {
 		r.aggressive = newAggressiveCache()
@@ -289,6 +299,7 @@ func serialLTE(a, b uint32) bool { return int32(b-a) >= 0 }
 func (r *Resolver) exchange(ctx context.Context, server netip.AddrPort, q *dnswire.Message) (*dnswire.Message, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
+		r.met.upstream.Inc()
 		resp, err := r.cfg.Exchanger.Exchange(ctx, server, q)
 		if err == nil {
 			return resp, nil

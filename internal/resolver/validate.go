@@ -99,6 +99,7 @@ func (r *Resolver) validatePositive(qname dnswire.Name, msg *dnswire.Message, ap
 			}
 			return StatusInsecure, limitHit, nil
 		}
+		r.countNSEC3Work(qname, set3.Zone, int(set3.Params.Iterations))
 		if !r.verifyNSEC3Sigs(msg, apex, zt) {
 			return StatusBogus, false, nil
 		}
@@ -148,7 +149,9 @@ func (r *Resolver) validateNegative(qname dnswire.Name, qtype dnswire.Type, msg 
 		return StatusInsecure, limitHit, nil
 	}
 
-	// Within limits: full validation.
+	// Within limits: full validation. The denial proof is about to be
+	// re-hashed, so charge its iteration cost to the work counter.
+	r.countNSEC3Work(qname, set3.Zone, int(set3.Params.Iterations))
 	if !r.verifyNSEC3Sigs(msg, apex, zt) {
 		return StatusBogus, false, nil
 	}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/compliance"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Config assembles a scanner.
@@ -47,9 +48,16 @@ type Config struct {
 	// negative disables retries). With retries on, ScanErrors in the
 	// survey report reflects persistent faults, not transient loss.
 	Retries int
-	// RetryBackoff is the delay before the first retry, doubling per
-	// attempt (default 50ms). Retries also pay the QPS limiter.
+	// RetryBackoff is the base delay before the first retry, doubling
+	// per attempt (default 50ms). Each sleep is jittered: the scanner
+	// draws uniformly from [base/2, base) using its seeded rng, so
+	// synchronized workers desynchronize without losing test
+	// reproducibility. Retries also pay the QPS limiter.
 	RetryBackoff time.Duration
+	// Obs, when set, receives scanner metrics (queries issued, RTT
+	// histogram, retries, backoff and limiter wait time). Nil disables
+	// instrumentation at zero cost on the query path.
+	Obs *obs.Registry
 }
 
 // Result is one scanned domain: its facts plus scan metadata.
@@ -71,6 +79,16 @@ type Scanner struct {
 
 	idMu   sync.Mutex
 	nextID uint16
+
+	// Metrics resolved once in New; all nil (no-op) when cfg.Obs is
+	// nil. mRTT and mLimiterWaitNS additionally gate their time.Now
+	// reads, so an uninstrumented scanner never touches the clock
+	// beyond what the retry timer already needs.
+	mQueries       *obs.Counter
+	mRTT           *obs.Histogram
+	mRetries       *obs.Counter
+	mBackoffNS     *obs.Counter
+	mLimiterWaitNS *obs.Counter
 }
 
 // New creates a scanner. Call Close when done with it to release the
@@ -100,6 +118,18 @@ func New(cfg Config) *Scanner {
 	if cfg.QPS > 0 {
 		s.limiter = newTokenBucket(cfg.QPS, cfg.Burst)
 	}
+	if cfg.Obs != nil {
+		s.mQueries = cfg.Obs.Counter("scanner_queries_total",
+			"DNS queries issued by the scanner, including retries")
+		s.mRTT = cfg.Obs.Histogram("scanner_query_rtt_seconds",
+			"round-trip time of scanner queries", obs.DurationBuckets())
+		s.mRetries = cfg.Obs.Counter("scanner_retries_total",
+			"scanner query attempts that were retries of a failed attempt")
+		s.mBackoffNS = cfg.Obs.Counter("scanner_retry_backoff_nanoseconds_total",
+			"cumulative nanoseconds scanner workers slept in retry backoff")
+		s.mLimiterWaitNS = cfg.Obs.Counter("scanner_limiter_wait_nanoseconds_total",
+			"cumulative nanoseconds scanner workers waited on the QPS limiter")
+	}
 	return s
 }
 
@@ -125,6 +155,21 @@ func (s *Scanner) randomLabel() string {
 	return "zz-probe-" + string(b)
 }
 
+// jitter maps a base backoff to a uniformly random duration in
+// [d/2, d) — "equal jitter". Drawing from the scanner's seeded rng
+// keeps retry schedules reproducible under a fixed seed; in a
+// loss-free run no retries fire, so the random-label sequence is
+// untouched.
+func (s *Scanner) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	half := d / 2
+	return half + time.Duration(s.rng.Int64N(int64(half)))
+}
+
 func (s *Scanner) id() uint16 {
 	s.idMu.Lock()
 	defer s.idMu.Unlock()
@@ -133,22 +178,40 @@ func (s *Scanner) id() uint16 {
 }
 
 // query sends one recursive query (RD+CD+DO) through the resolver,
-// retrying transport-level failures with exponential backoff. Every
-// attempt pays the rate limiter, so retries cannot push the scanner
-// over its QPS budget.
+// retrying transport-level failures with jittered exponential backoff.
+// Every attempt pays the rate limiter, so retries cannot push the
+// scanner over its QPS budget.
 func (s *Scanner) query(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
 	backoff := s.cfg.RetryBackoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if s.limiter != nil {
-			if err := s.limiter.wait(ctx); err != nil {
+			if s.mLimiterWaitNS != nil {
+				waitStart := time.Now()
+				err := s.limiter.wait(ctx)
+				s.mLimiterWaitNS.Add(uint64(time.Since(waitStart)))
+				if err != nil {
+					return nil, err
+				}
+			} else if err := s.limiter.wait(ctx); err != nil {
 				return nil, err
 			}
 		}
 		actx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
 		q := dnswire.NewQuery(s.id(), qname, qtype, true)
 		q.Header.CheckingDisabled = true
+		s.mQueries.Inc()
+		if attempt > 0 {
+			s.mRetries.Inc()
+		}
+		var sent time.Time
+		if s.mRTT != nil {
+			sent = time.Now()
+		}
 		msg, err := s.cfg.Exchanger.Exchange(actx, s.cfg.Resolver, q)
+		if s.mRTT != nil {
+			s.mRTT.Observe(time.Since(sent).Seconds())
+		}
 		cancel()
 		if err == nil {
 			return msg, nil
@@ -157,9 +220,11 @@ func (s *Scanner) query(ctx context.Context, qname dnswire.Name, qtype dnswire.T
 		if attempt >= s.cfg.Retries || ctx.Err() != nil {
 			return nil, lastErr
 		}
-		t := time.NewTimer(backoff)
+		sleep := s.jitter(backoff)
+		t := time.NewTimer(sleep)
 		select {
 		case <-t.C:
+			s.mBackoffNS.Add(uint64(sleep))
 		case <-ctx.Done():
 			t.Stop()
 			return nil, lastErr
@@ -333,8 +398,10 @@ type resultJSON struct {
 }
 
 // Encoder writes Results as NDJSON lines, reusing one json.Encoder
-// instead of allocating one per result. Write serializes internally,
-// so per-worker sinks can share a single Encoder over one stream.
+// instead of allocating one per result. Write and WriteAny serialize
+// internally, so per-worker sinks can share a single Encoder over one
+// stream — and so can an obs.Tracer, interleaving span records with
+// scan results on the same NDJSON output.
 type Encoder struct {
 	mu  sync.Mutex
 	enc *json.Encoder
@@ -343,6 +410,14 @@ type Encoder struct {
 // NewEncoder prepares an NDJSON encoder over w.
 func NewEncoder(w io.Writer) *Encoder {
 	return &Encoder{enc: json.NewEncoder(w)}
+}
+
+// WriteAny emits any JSON-encodable value as one line, making Encoder
+// an obs.LineWriter (the tracer's output interface).
+func (e *Encoder) WriteAny(v any) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enc.Encode(v)
 }
 
 // Write emits one result as a JSON line.
@@ -363,9 +438,7 @@ func (e *Encoder) Write(r Result) error {
 	if r.Err != nil {
 		out.Error = r.Err.Error()
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.enc.Encode(out)
+	return e.WriteAny(out)
 }
 
 // Encode writes one result as a JSON line (one-shot convenience; bulk

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
 	"repro/internal/nsec3"
+	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/resolver"
 	"repro/internal/respop"
@@ -394,6 +395,123 @@ func TestEncoderReuse(t *testing.T) {
 		if decoded["domain"] != domains[i]+"." {
 			t.Fatalf("line %d domain %v, want %s.", i, decoded["domain"], domains[i])
 		}
+	}
+}
+
+// TestJitterDeterministicAndBounded: equal jitter must stay inside
+// [d/2, d) and, under a fixed seed, reproduce the same sequence — the
+// property that keeps retry schedules replayable.
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	mk := func() *Scanner {
+		return New(Config{Exchanger: netsim.NewNetwork(1), Seed: 42})
+	}
+	a, b := mk(), mk()
+	base := 80 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		ja := a.jitter(base)
+		if ja < base/2 || ja >= base {
+			t.Fatalf("jitter %v outside [%v, %v)", ja, base/2, base)
+		}
+		if jb := b.jitter(base); jb != ja {
+			t.Fatalf("draw %d: same seed diverged: %v vs %v", i, ja, jb)
+		}
+	}
+	if d := a.jitter(1); d != 1 {
+		t.Fatalf("degenerate backoff mangled: %v", d)
+	}
+}
+
+// TestScannerMetrics drives a flaky transport with an instrumented
+// scanner and checks the counters account for every attempt, retry,
+// and backoff sleep.
+func TestScannerMetrics(t *testing.T) {
+	net, u := scanWorld(t, 300)
+	flaky := &flakyExchanger{inner: net, failures: 2}
+	reg := obs.NewRegistry()
+	sc := New(Config{
+		Exchanger: flaky, Resolver: netsim.Addr4(1, 1, 1, 1),
+		Workers: 1, Seed: 7,
+		Retries: 2, RetryBackoff: time.Millisecond,
+		Obs: reg,
+	})
+	defer sc.Close()
+	var spec *population.DomainSpec
+	for i := range u.Domains {
+		if u.Domains[i].NSEC3 {
+			spec = &u.Domains[i]
+			break
+		}
+	}
+	r := sc.ScanDomain(context.Background(), spec.Name)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	queries := reg.Counter("scanner_queries_total", "").Value()
+	if queries != uint64(flaky.calls) {
+		t.Errorf("scanner_queries_total %d, transport saw %d calls", queries, flaky.calls)
+	}
+	retries := reg.Counter("scanner_retries_total", "").Value()
+	if retries != uint64(flaky.fails) {
+		t.Errorf("scanner_retries_total %d, want %d (one retry per failure)", retries, flaky.fails)
+	}
+	if v := reg.Counter("scanner_retry_backoff_nanoseconds_total", "").Value(); v == 0 {
+		t.Error("no backoff time recorded despite retries")
+	}
+	rtt := reg.Histogram("scanner_query_rtt_seconds", "", obs.DurationBuckets())
+	if rtt.Count() != queries {
+		t.Errorf("RTT histogram saw %d observations, want %d", rtt.Count(), queries)
+	}
+}
+
+// TestScannerLimiterWaitMetric: a starved token bucket must show up in
+// the limiter-wait counter.
+func TestScannerLimiterWaitMetric(t *testing.T) {
+	net, u := scanWorld(t, 300)
+	reg := obs.NewRegistry()
+	sc := New(Config{
+		Exchanger: net, Resolver: netsim.Addr4(1, 1, 1, 1),
+		Workers: 2, QPS: 200, Burst: 1, Seed: 7,
+		Obs: reg,
+	})
+	defer sc.Close()
+	for i := 0; i < 3; i++ {
+		if r := sc.ScanDomain(context.Background(), u.Domains[i].Name); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if v := reg.Counter("scanner_limiter_wait_nanoseconds_total", "").Value(); v == 0 {
+		t.Error("limiter wait not recorded despite a dry bucket")
+	}
+}
+
+// TestEncoderWriteAnyInterleaves: scan results and tracer spans share
+// one Encoder, each line staying valid standalone JSON.
+func TestEncoderWriteAnyInterleaves(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	tr := obs.NewTracer(enc)
+	sp := tr.Start("scan", 1)
+	r := Result{Facts: compliance.ZoneFacts{Domain: dnswire.MustParseName("a.example")}, Queries: 1}
+	if err := enc.Write(r); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2 (result + span)", len(lines))
+	}
+	var res struct {
+		Domain string `json:"domain"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &res); err != nil || res.Domain != "a.example." {
+		t.Fatalf("result line: %v / %+v", err, res)
+	}
+	var span struct {
+		Span  string `json:"span"`
+		Shard int    `json:"shard"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &span); err != nil || span.Span != "scan" || span.Shard != 1 {
+		t.Fatalf("span line: %v / %+v", err, span)
 	}
 }
 

@@ -36,6 +36,11 @@ type ZoneSpec struct {
 	// delegation that resolvers chase by resolving the host themselves
 	// (how operator-run name servers appear in the real DNS).
 	NSHost dnswire.Name
+	// Shared marks the zone as identical across repeated builds (its
+	// content does not depend on the build's shard or seed), making it
+	// eligible for the builder's SignCache: keys are reused per apex
+	// and signing is skipped entirely on a content match.
+	Shared bool
 	// Server is the address the zone's authoritative server listens
 	// on. Zones may share a server.
 	Server netip.AddrPort
@@ -54,6 +59,10 @@ type Hierarchy struct {
 	Servers map[netip.AddrPort]*authserver.Server
 	// Log records queries on every server (shared).
 	Log *authserver.QueryLog
+	// ZonesSigned and ZonesReused count signing work: zones signed
+	// fresh during this build versus served from the builder's
+	// SignCache.
+	ZonesSigned, ZonesReused int
 }
 
 // Builder accumulates zone specs and wires them together.
@@ -63,6 +72,10 @@ type Builder struct {
 	Inception, Expiration uint32
 	// TTL is the default record TTL.
 	TTL uint32
+	// Cache, when set, reuses keys and signed zones for specs marked
+	// Shared across repeated builds (the sharded survey's deployment
+	// loop).
+	Cache *SignCache
 }
 
 // NewBuilder creates a builder with the given default signing window.
@@ -167,7 +180,18 @@ func (b *Builder) Build(net *netsim.Network) (*Hierarchy, error) {
 				cfg.Inception, cfg.Expiration = b.Inception, b.Expiration
 			}
 			var err error
-			signed, err = z.Sign(cfg)
+			if b.Cache != nil && spec.Shared {
+				var hit bool
+				signed, hit, err = b.Cache.sign(z, cfg)
+				if hit {
+					h.ZonesReused++
+				} else if err == nil {
+					h.ZonesSigned++
+				}
+			} else {
+				signed, err = z.Sign(cfg)
+				h.ZonesSigned++
+			}
 			if err != nil {
 				return nil, fmt.Errorf("testbed: signing %s: %w", spec.Apex, err)
 			}

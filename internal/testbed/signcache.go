@@ -1,0 +1,136 @@
+package testbed
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/dnssec"
+	"repro/internal/dnswire"
+	"repro/internal/zone"
+)
+
+// SignCache makes repeated hierarchy builds cheap by reusing signing
+// work across them — the sharded survey's deployment loop re-creates
+// the root, all 1,449 TLD zones, and every operator infrastructure
+// zone once per shard, and without a cache re-signs each from scratch.
+//
+// The cache operates at two levels:
+//
+//  1. Per-apex key reuse: the first build of a zone generates its
+//     KSK/ZSK; later builds of the same apex sign with the same keys.
+//     Because a DS record depends only on the child's KSK, this makes
+//     delegation DS sets stable across builds, which in turn makes
+//     parents of unchanged children byte-identical.
+//  2. Content-addressed signed zones: a zone whose apex, signing
+//     config, keys, and full record set fingerprint-match a previous
+//     build is served from cache without any signing at all.
+//
+// Only zones marked Shared in their ZoneSpec consult the cache, so
+// per-shard leaf zones don't accumulate (memory stays O(shared set)).
+// The cache is safe for concurrent builders.
+type SignCache struct {
+	mu    sync.Mutex
+	keys  map[dnswire.Name]cachedKeys
+	zones map[[sha256.Size]byte]*zone.Signed
+
+	signed int
+	reused int
+}
+
+type cachedKeys struct {
+	ksk, zsk *dnssec.KeyPair
+}
+
+// NewSignCache creates an empty cache.
+func NewSignCache() *SignCache {
+	return &SignCache{
+		keys:  make(map[dnswire.Name]cachedKeys),
+		zones: make(map[[sha256.Size]byte]*zone.Signed),
+	}
+}
+
+// Stats reports how many shared zones were signed fresh and how many
+// were served from cache since the cache was created.
+func (c *SignCache) Stats() (signed, reused int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.signed, c.reused
+}
+
+// sign signs z under cfg, reusing cached keys for the apex and a
+// cached signed zone when the content fingerprint matches a previous
+// build. The returned hit reports whether signing was skipped.
+func (c *SignCache) sign(z *zone.Zone, cfg zone.SignConfig) (signed *zone.Signed, hit bool, err error) {
+	alg := cfg.Algorithm
+	if alg == 0 {
+		alg = dnswire.AlgECDSAP256SHA256 // mirror zone.Sign's default
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys, ok := c.keys[z.Apex]
+	if !ok || keys.ksk.DNSKEY().Algorithm != alg {
+		if keys.ksk, err = dnssec.GenerateKey(alg, true, cfg.Rand); err != nil {
+			return nil, false, err
+		}
+		if keys.zsk, err = dnssec.GenerateKey(alg, false, cfg.Rand); err != nil {
+			return nil, false, err
+		}
+		c.keys[z.Apex] = keys
+	}
+	cfg.KSK, cfg.ZSK = keys.ksk, keys.zsk
+
+	fp := fingerprint(z, cfg)
+	if s, ok := c.zones[fp]; ok {
+		c.reused++
+		return s, true, nil
+	}
+	// Builds run sequentially in the survey loop, so signing under the
+	// lock costs nothing and keeps the double-sign race trivial.
+	s, err := z.Sign(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	c.zones[fp] = s
+	c.signed++
+	return s, false, nil
+}
+
+// fingerprint hashes everything that determines a signed zone's bytes:
+// the apex, the full signing config (keys included — they decide every
+// RRSIG and the DS), and the canonical record set of the raw zone.
+// It must run before Sign, which mutates the raw zone.
+func fingerprint(z *zone.Zone, cfg zone.SignConfig) [sha256.Size]byte {
+	h := sha256.New()
+	put := func(b []byte) {
+		_, _ = h.Write(b) // sha256.Hash.Write never fails (hash.Hash contract)
+	}
+	write := func(s string) {
+		put([]byte(s))
+		put([]byte{0}) // NUL separator so "a"+"bc" != "ab"+"c"
+	}
+	write(string(z.Apex))
+	write(fmt.Sprintf("alg=%d denial=%d optout=%t expall=%t expden=%t",
+		cfg.Algorithm, cfg.Denial, cfg.OptOut, cfg.ExpireAll, cfg.ExpireDenialSigs))
+	write(fmt.Sprintf("n3=%d/%d/%x", cfg.NSEC3.Alg, cfg.NSEC3.Iterations, cfg.NSEC3.Salt))
+	var window [8]byte
+	binary.BigEndian.PutUint32(window[:4], cfg.Inception)
+	binary.BigEndian.PutUint32(window[4:], cfg.Expiration)
+	put(window[:])
+	if cfg.KSK != nil {
+		put(cfg.KSK.DNSKEY().PublicKey)
+	}
+	if cfg.ZSK != nil {
+		put(cfg.ZSK.DNSKEY().PublicKey)
+	}
+	for _, rr := range z.Records() {
+		write(rr.String())
+	}
+	var fp [sha256.Size]byte
+	h.Sum(fp[:0])
+	return fp
+}
