@@ -91,7 +91,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer f.Close() // read-only input; a close error cannot lose data
 		in = f
 	}
 	src := &lineSource{sc: bufio.NewScanner(in)}
@@ -105,6 +105,8 @@ func run() error {
 	})
 	defer s.Close()
 	out := bufio.NewWriter(os.Stdout)
+	// Early-return safety net; the success path Flushes explicitly
+	// below and checks the error there.
 	defer out.Flush()
 	enc := scanner.NewEncoder(out)
 	var sinks []*resultSink

@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -24,6 +27,54 @@ func TestRunJSONClean(t *testing.T) {
 	}
 	if len(diags) != 0 {
 		t.Fatalf("expected no findings in internal/nsec3, got %v", diags)
+	}
+}
+
+// TestRunBaselineFlags exercises the ratchet plumbing end to end:
+// -write-baseline regenerates the file, -max-baseline caps its size,
+// and stale entries are called out without failing the run. Matching
+// semantics are pinned by the internal/lint baseline tests.
+func TestRunBaselineFlags(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", path, "-write-baseline", "../../internal/nsec3"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("write-baseline exited %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	var b struct {
+		Entries []map[string]string `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("baseline is not JSON: %v\n%s", err, data)
+	}
+	if len(b.Entries) != 0 {
+		t.Fatalf("clean package wrote %d baseline entries, want 0", len(b.Entries))
+	}
+
+	// A baseline over the -max-baseline cap fails even on a clean tree:
+	// the ratchet bounds tolerated debt, not current findings.
+	overfull := `{"entries":[{"analyzer":"goleak","file":"x.go","message":"m"}]}`
+	if err := os.WriteFile(path, []byte(overfull), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", path, "-max-baseline", "0", "../../internal/nsec3"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("over-full baseline exited %d, want 1; stderr: %s", code, stderr.String())
+	}
+
+	// Under the cap, the unmatched entry is stale: reported, not fatal.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", path, "-max-baseline", "5", "../../internal/nsec3"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("stale-entry run exited %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stale baseline entry") {
+		t.Fatalf("expected stale-entry notice, stderr: %s", stderr.String())
 	}
 }
 

@@ -33,7 +33,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (retErr error) {
 	var (
 		origin     = flag.String("origin", "", "zone origin (required)")
 		inPath     = flag.String("in", "", "input master file (required)")
@@ -59,7 +59,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Close() // read-only input; a close error cannot lose data
 	z, err := zone.ParseMaster(f, apex, 300)
 	if err != nil {
 		return err
@@ -96,7 +96,13 @@ func run() error {
 		if out, err = os.Create(*outPath); err != nil {
 			return err
 		}
-		defer out.Close()
+		// A close error on the written zone file means truncated
+		// output; surface it as run's error unless one beat it there.
+		defer func() {
+			if cerr := out.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
 	}
 	// Emit the zone data, then signatures and denial records.
 	if err := zone.WriteMaster(out, z); err != nil {

@@ -77,7 +77,12 @@ func (p *Platform) MeasureTestbed(ctx context.Context, uniquePrefix string) []Me
 		wg.Add(1)
 		go func(i int, probe Probe) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				results[i] = MeasurementResult{Probe: probe, Err: ctx.Err()}
+				return
+			}
 			defer func() { <-sem }()
 			unique := fmt.Sprintf("%s-atlas-%d", uniquePrefix, probe.ID)
 			tr, err := testbed.ProbeResolver(ctx, p.Exchanger, probe.Resolver, unique)

@@ -2,7 +2,9 @@ package atlas
 
 import (
 	"context"
+	"net/netip"
 	"testing"
+	"time"
 
 	"repro/internal/compliance"
 	"repro/internal/dnswire"
@@ -115,4 +117,47 @@ func TestPlatformUnreachableResolver(t *testing.T) {
 		t.Fatal("unreachable resolver classified as validator")
 	}
 	_ = resolver.NoLimit // keep the import for clarity of what's deployed
+}
+
+// blockingExchanger parks every exchange until its context dies — the
+// worst-case platform backend for shutdown behavior.
+type blockingExchanger struct{}
+
+func (blockingExchanger) Exchange(ctx context.Context, _ netip.AddrPort, _ *dnswire.Message) (*dnswire.Message, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestMeasureTestbedCancel pins the fix for the goleak finding in
+// MeasureTestbed: a probe goroutine waiting for a semaphore slot must
+// also watch ctx, so cancellation drains the pool instead of leaving
+// goroutines parked on the send forever.
+func TestMeasureTestbedCancel(t *testing.T) {
+	p := &Platform{Exchanger: blockingExchanger{}, MaxConcurrent: 1}
+	for i := 1; i <= 8; i++ {
+		p.AddProbe(Probe{ID: i, Resolver: netsim.Addr4(192, 0, 2, byte(i))})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(20*time.Millisecond, cancel)
+	done := make(chan []MeasurementResult, 1)
+	go func() { done <- p.MeasureTestbed(ctx, "cancel") }()
+	select {
+	case results := <-done:
+		if len(results) != 8 {
+			t.Fatalf("results = %d, want 8", len(results))
+		}
+		for i, r := range results {
+			// Every goroutine must have run to completion and filled
+			// its slot, whether it probed (transcript, possibly with
+			// per-probe errors folded in) or bailed on cancellation.
+			if r.Probe.ID == 0 {
+				t.Errorf("result %d: slot never filled", i)
+			}
+			if r.Err == nil && r.Transcript == nil {
+				t.Errorf("probe %d: neither error nor transcript", r.Probe.ID)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("MeasureTestbed did not return after cancellation")
+	}
 }

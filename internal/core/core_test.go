@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/compliance"
@@ -344,5 +345,36 @@ func TestResolverStudyEndToEnd(t *testing.T) {
 	// EDE stats come from open resolvers only; some must exist.
 	if report.Overall.EDE27 == 0 {
 		t.Error("no EDE 27 observed among open validators")
+	}
+}
+
+// TestResolverStudyCancelled pins the fix for the goleak finding in
+// the open-resolver worker pool: a worker waiting for a semaphore slot
+// watches ctx, so a cancelled study drains its pool and returns
+// instead of parking goroutines on the send forever.
+func TestResolverStudyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan struct{})
+	var report *ResolverStudyReport
+	var err error
+	go func() {
+		defer close(done)
+		report, err = RunResolverStudy(ctx, ResolverStudyConfig{
+			ScaleDen: 2000,
+			Seed:     1,
+			Workers:  2,
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("RunResolverStudy did not return under a cancelled context")
+	}
+	if err != nil {
+		return // an error return is a valid way to honor cancellation
+	}
+	if report == nil {
+		t.Fatal("nil report without error")
 	}
 }

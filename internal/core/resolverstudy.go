@@ -121,7 +121,11 @@ func RunResolverStudy(ctx context.Context, cfg ResolverStudyConfig) (*ResolverSt
 		wg.Add(1)
 		go func(i int, inst *respop.Instance) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
 			defer func() { <-sem }()
 			unique := fmt.Sprintf("open-%d", i)
 			tr, err := testbed.ProbeResolver(ctx, h.Net, inst.Addr, unique)

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A baseline is the suite's ratchet: a committed list of findings the
+// project tolerates for now. Runs drop diagnostics matched by the
+// baseline and fail on everything else, so the finding count can only
+// go down — fixing an entry means deleting its line, and a new finding
+// can never hide behind an old one. Entries match by analyzer, file
+// path suffix, and exact message (never by line number: a baseline
+// that rots on every unrelated edit gets regenerated instead of
+// fixed).
+
+// BaselineEntry is one tolerated finding.
+type BaselineEntry struct {
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string `json:"analyzer"`
+	// File is a path suffix of the finding's file.
+	File string `json:"file"`
+	// Message is the exact diagnostic message.
+	Message string `json:"message"`
+	// Reason says why the finding is tolerated rather than fixed.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Baseline is the committed set of tolerated findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty
+// baseline, so a fresh checkout ratchets from zero.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the baseline as stable, diff-friendly JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FromDiagnostics builds a baseline tolerating diags, with file paths
+// made repo-relative so the file is stable across checkouts.
+func FromDiagnostics(diags []Diagnostic, reason string) *Baseline {
+	b := &Baseline{}
+	for _, d := range diags {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     relPath(d.Pos.Filename),
+			Message:  d.Message,
+			Reason:   reason,
+		})
+	}
+	return b
+}
+
+// relPath renders p relative to the working directory when possible.
+func relPath(p string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return p
+	}
+	rel, err := filepath.Rel(wd, p)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return p
+	}
+	return filepath.ToSlash(rel)
+}
+
+// matches reports whether the entry tolerates d.
+func (e BaselineEntry) matches(d Diagnostic) bool {
+	return e.Analyzer == d.Analyzer &&
+		e.Message == d.Message &&
+		pathSuffixMatch(filepath.ToSlash(d.Pos.Filename), e.File)
+}
+
+// Apply splits diags into new findings (not tolerated) and the entries
+// that matched nothing — stale lines whose finding has been fixed and
+// should be deleted from the file.
+func (b *Baseline) Apply(diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	used := make([]bool, len(b.Entries))
+	for _, d := range diags {
+		matched := false
+		for i, e := range b.Entries {
+			if e.matches(d) {
+				used[i] = true
+				matched = true
+			}
+		}
+		if !matched {
+			fresh = append(fresh, d)
+		}
+	}
+	for i, e := range b.Entries {
+		if !used[i] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

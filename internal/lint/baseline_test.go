@@ -1,0 +1,81 @@
+package lint_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func diag(analyzer, file, msg string) lint.Diagnostic {
+	return lint.Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: 10, Column: 2},
+		Message:  msg,
+	}
+}
+
+// TestBaselineApply pins the matching contract: analyzer + file path
+// suffix + exact message, no line numbers. Unmatched diagnostics are
+// fresh (they fail the run); unmatched entries are stale (the finding
+// was fixed and the line should be deleted).
+func TestBaselineApply(t *testing.T) {
+	b := &lint.Baseline{Entries: []lint.BaselineEntry{
+		{Analyzer: "goleak", File: "internal/x/x.go", Message: "msg one"},
+		{Analyzer: "lockorder", File: "internal/y/y.go", Message: "gone"},
+	}}
+	diags := []lint.Diagnostic{
+		// Tolerated: suffix-matches the entry even from an absolute path.
+		diag("goleak", "/build/repo/internal/x/x.go", "msg one"),
+		// Fresh: same entry, different message.
+		diag("goleak", "/build/repo/internal/x/x.go", "msg two"),
+		// Fresh: same message, different analyzer.
+		diag("detertaint", "/build/repo/internal/x/x.go", "msg one"),
+		// Fresh: suffix must align on a path segment.
+		diag("goleak", "/build/notinternal/x/x.go", "msg one"),
+	}
+	fresh, stale := b.Apply(diags)
+	if len(fresh) != 3 {
+		t.Errorf("fresh = %d, want 3: %v", len(fresh), fresh)
+	}
+	if len(stale) != 1 || stale[0].Message != "gone" {
+		t.Errorf("stale = %v, want the lockorder entry", stale)
+	}
+}
+
+// TestBaselineRoundTrip covers read/write plus the missing-file case
+// (an absent baseline is empty, so fresh checkouts ratchet from zero).
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+
+	empty, err := lint.ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("missing baseline should read as empty: %v", err)
+	}
+	if len(empty.Entries) != 0 {
+		t.Fatalf("missing baseline has %d entries", len(empty.Entries))
+	}
+
+	in := lint.FromDiagnostics([]lint.Diagnostic{
+		diag("goleak", "b.go", "zz"),
+		diag("goleak", "a.go", "aa"),
+	}, "adopting the analyzer")
+	if err := lint.WriteBaseline(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := lint.ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(out.Entries))
+	}
+	// WriteBaseline sorts by file for stable diffs.
+	if out.Entries[0].File != "a.go" || out.Entries[1].File != "b.go" {
+		t.Errorf("entries not sorted: %+v", out.Entries)
+	}
+	if out.Entries[0].Reason != "adopting the analyzer" {
+		t.Errorf("reason lost: %+v", out.Entries[0])
+	}
+}

@@ -23,70 +23,83 @@ import (
 //
 // internal/obs is in scope because its rendered /metrics output and
 // merged counters must not depend on map order or ambient entropy.
-// Its tracer file is the one sanctioned exemption: a phase tracer's
-// entire job is reading the wall clock, span durations feed only the
-// observability side channel (never a report), and obs/trace.go
-// documents that contract in its header.
+// Functions carrying a //repro:nondeterministic directive (with a
+// reason) are skipped: they are sanctioned nondeterminism roots, the
+// detertaint analyzer polices the annotations themselves and keeps
+// every caller of an unannotated source honest across package
+// boundaries.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock reads, global rand-source draws, and " +
 		"map-iteration-order-dependent output in the deterministic " +
 		"population/analysis layers",
-	Packages:    []string{"internal/population", "internal/respop", "internal/analysis", "internal/obs"},
-	ExtraFiles:  []string{"internal/core/timeline.go"},
-	ExemptFiles: []string{"internal/obs/trace.go"},
-	Run:         runDeterminism,
+	Packages:   []string{"internal/population", "internal/respop", "internal/analysis", "internal/obs"},
+	ExtraFiles: []string{"internal/core/timeline.go"},
+	Run:        runDeterminism,
 }
 
 func runDeterminism(pass *Pass) {
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			fn := calleeFunc(pass.Info, call)
-			if fn == nil || fn.Pkg() == nil {
-				return true
-			}
-			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-				return true // methods (e.g. on a seeded *rand.Rand) are fine
-			}
-			switch fn.Pkg().Path() {
-			case "time":
-				switch fn.Name() {
-				case "Now", "Since", "Until":
-					pass.Reportf(call.Pos(), "call to time.%s leaks the wall clock into a deterministic layer; thread an explicit clock through the config", fn.Name())
-				}
-			case "math/rand", "math/rand/v2":
-				if !strings.HasPrefix(fn.Name(), "New") {
-					pass.Reportf(call.Pos(), "call to %s.%s draws from the global rand source; use a seeded *rand.Rand (rand.New(rand.NewPCG(seed, ...)))", fn.Pkg().Name(), fn.Name())
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if reason, annotated := nondetDirective(fd.Doc); annotated && reason != "" {
+					continue // sanctioned root; detertaint audits the directive
 				}
 			}
-			return true
-		})
-		forEachStmtList(f, func(list []ast.Stmt) {
-			for i, stmt := range list {
-				rs, ok := stmt.(*ast.RangeStmt)
-				if !ok {
-					continue
-				}
-				if t := pass.Info.TypeOf(rs.X); t == nil {
-					continue
-				} else if _, ok := t.Underlying().(*types.Map); !ok {
-					continue
-				}
-				checkMapRange(pass, rs, list[i+1:])
-			}
-		})
+			checkDeclDeterminism(pass, decl)
+		}
 	}
 }
 
-// forEachStmtList visits every statement list in the file (block
+// checkDeclDeterminism applies both determinism rules to one top-level
+// declaration.
+func checkDeclDeterminism(pass *Pass, decl ast.Decl) {
+	ast.Inspect(decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true // methods (e.g. on a seeded *rand.Rand) are fine
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				pass.Reportf(call.Pos(), "call to time.%s leaks the wall clock into a deterministic layer; thread an explicit clock through the config", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !strings.HasPrefix(fn.Name(), "New") {
+				pass.Reportf(call.Pos(), "call to %s.%s draws from the global rand source; use a seeded *rand.Rand (rand.New(rand.NewPCG(seed, ...)))", fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return true
+	})
+	forEachStmtList(decl, func(list []ast.Stmt) {
+		for i, stmt := range list {
+			rs, ok := stmt.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			if t := pass.Info.TypeOf(rs.X); t == nil {
+				continue
+			} else if _, ok := t.Underlying().(*types.Map); !ok {
+				continue
+			}
+			checkMapRange(pass, rs, list[i+1:])
+		}
+	})
+}
+
+// forEachStmtList visits every statement list under root (block
 // bodies, case clauses, comm clauses), giving callers successor
 // visibility within a list.
-func forEachStmtList(f *ast.File, fn func([]ast.Stmt)) {
-	ast.Inspect(f, func(n ast.Node) bool {
+func forEachStmtList(root ast.Node, fn func([]ast.Stmt)) {
+	ast.Inspect(root, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.BlockStmt:
 			fn(n.List)

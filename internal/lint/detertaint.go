@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterTaintAnalyzer is the interprocedural twin of the determinism
+// analyzer. Where determinism inspects one body at a time inside a
+// fixed package scope, detertaint seeds a taint set with every
+// function that directly touches a nondeterminism source —
+//
+//   - time.Now / time.Since / time.Until (wall clock),
+//   - package-level math/rand and math/rand/v2 draws (the global,
+//     unseeded source; New* constructors are fine),
+//   - output written inside a range over a map (iteration order),
+//
+// — and propagates it backward over the call graph, across package
+// boundaries, go/defer statements, function literals, interface
+// dispatch, and function-value references. Any function declared in
+// the deterministic layers (internal/core, population, compliance,
+// analysis, respop) from which a source is reachable is reported with
+// the full call chain, so "we audited the scanner once" becomes a
+// per-commit proof.
+//
+// Sanctioned roots are annotated in the code, not listed here: a
+// //repro:nondeterministic directive (with a mandatory reason) on a
+// function declaration absorbs taint — its callers stay clean. That
+// replaces the old by-filename exemption of internal/obs/trace.go: the
+// tracer's Start/End carry the directive, and any new wall-clock read
+// anywhere else must either be refactored or argue its own exemption
+// in a reviewable one-line annotation.
+var DeterTaintAnalyzer = &Analyzer{
+	Name: "detertaint",
+	Doc: "taint-propagate nondeterminism sources (wall clock, global " +
+		"rand, map-order-dependent output) over the cross-package call " +
+		"graph and report every reachable path out of the deterministic " +
+		"core/population/compliance/analysis layers",
+	RunProject: runDeterTaint,
+}
+
+// detertaintRoots are the package suffixes whose functions must not
+// reach a nondeterminism source (§4.1 survey and §6 resolver-study
+// aggregation layers; matching the determinism analyzer's scope plus
+// core and compliance, which only the call graph can police).
+var detertaintRoots = []string{
+	"internal/core",
+	"internal/population",
+	"internal/compliance",
+	"internal/analysis",
+	"internal/respop",
+}
+
+// taintSource is one direct nondeterminism site inside a function.
+type taintSource struct {
+	desc string // e.g. "time.Now"
+	pos  token.Pos
+}
+
+// taintMark records how taint reached a node: through which callee
+// (nil when the node is itself a seed) toward which source.
+type taintMark struct {
+	next   *CallNode
+	source taintSource
+}
+
+func runDeterTaint(pass *ProjectPass) {
+	g := pass.Project.Graph
+
+	// Directive hygiene: an annotation without a reason is not a
+	// waiver, it is a finding — exemptions must be reviewable.
+	for _, node := range g.Nodes {
+		if node.Annotated && node.NondetReason == "" {
+			pass.Reportf(node.Pkg.Fset, node.Pos(),
+				"%s directive without a reason; state why this nondeterminism root is sanctioned", NondetDirective)
+		}
+	}
+
+	// Seed pass: find direct sources per node. Annotated nodes absorb
+	// their own sources and incoming taint alike.
+	marks := map[*CallNode]taintMark{}
+	var queue []*CallNode
+	for _, node := range g.Nodes {
+		if sanctioned(node) {
+			continue
+		}
+		if src, ok := directSource(node); ok {
+			marks[node] = taintMark{source: src}
+			queue = append(queue, node)
+		}
+	}
+
+	// Backward propagation: callers of tainted nodes become tainted,
+	// stopping at sanctioned roots. BFS yields shortest chains.
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		for _, e := range node.In {
+			caller := e.Caller
+			if _, seen := marks[caller]; seen || sanctioned(caller) {
+				continue
+			}
+			marks[caller] = taintMark{next: node, source: marks[node].source}
+			queue = append(queue, caller)
+		}
+	}
+
+	// Report the innermost scoped function of each chain: the point
+	// where a deterministic layer escapes into tainted territory. Outer
+	// scoped callers are implied by that finding and stay silent.
+	// Literals cannot report (they have no declaration to annotate), so
+	// the successor check skips them: a scoped function whose taint
+	// flows through its own closure still reports.
+	for _, node := range g.Nodes {
+		mark, tainted := marks[node]
+		if !tainted || node.Func == nil || !scopedNode(node) {
+			continue
+		}
+		succ := mark.next
+		for succ != nil && succ.Func == nil {
+			succ = marks[succ].next
+		}
+		if succ != nil && scopedNode(succ) {
+			continue
+		}
+		pass.Reportf(node.Pkg.Fset, node.Pos(),
+			"%s reaches nondeterminism source %s: %s; thread the value through the config or annotate the sanctioned root with %s <reason>",
+			node.Name(), mark.source.desc, chainString(node, marks), NondetDirective)
+	}
+}
+
+// sanctioned reports whether the node carries a usable directive. A
+// literal inherits nothing: only declared functions can be annotated,
+// keeping every waiver greppable.
+func sanctioned(node *CallNode) bool {
+	return node.Annotated && node.NondetReason != ""
+}
+
+// scopedNode reports whether the node's body lives in a deterministic
+// root package.
+func scopedNode(node *CallNode) bool {
+	for _, p := range detertaintRoots {
+		if pathSuffixMatch(node.Pkg.Path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// chainString renders the taint chain from node to its source, e.g.
+// "scanShard → scanner.ScanAll → (*Scanner).query → time.Now".
+func chainString(node *CallNode, marks map[*CallNode]taintMark) string {
+	var parts []string
+	for n := node; n != nil; {
+		parts = append(parts, n.Name())
+		mark := marks[n]
+		if mark.next == nil {
+			parts = append(parts, mark.source.desc)
+			break
+		}
+		n = mark.next
+	}
+	return strings.Join(parts, " → ")
+}
+
+// directSource returns the first nondeterminism source called or
+// expressed directly in node's own body (nested literals are their own
+// nodes and report separately).
+func directSource(node *CallNode) (taintSource, bool) {
+	body := node.Body()
+	if body == nil {
+		return taintSource{}, false
+	}
+	info := node.Pkg.Info
+	var found *taintSource
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true // methods (e.g. a seeded *rand.Rand) are fine
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				found = &taintSource{desc: "time." + fn.Name(), pos: call.Pos()}
+			}
+		case "math/rand", "math/rand/v2":
+			if !strings.HasPrefix(fn.Name(), "New") {
+				found = &taintSource{desc: fn.Pkg().Name() + "." + fn.Name() + " (global source)", pos: call.Pos()}
+			}
+		}
+		return true
+	})
+	if found != nil {
+		return *found, true
+	}
+	if pos, ok := mapOrderOutput(node); ok {
+		return taintSource{desc: "map-iteration-order output", pos: pos}, true
+	}
+	return taintSource{}, false
+}
+
+// mapOrderOutput reports whether node's own body writes to an output
+// sink inside a range over a map — the order-dependence seed the
+// intraprocedural determinism analyzer also recognizes.
+func mapOrderOutput(node *CallNode) (token.Pos, bool) {
+	info := node.Pkg.Info
+	var pos token.Pos
+	var found bool
+	ast.Inspect(node.Body(), func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		ast.Inspect(rs.Body, func(inner ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := inner.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := inner.(*ast.CallExpr); ok && isOutputCall(info, call) {
+				pos, found = call.Pos(), true
+				return false
+			}
+			return true
+		})
+		return true
+	})
+	return pos, found
+}

@@ -15,15 +15,18 @@ import (
 //   - a call whose results include an error used as a bare statement;
 //   - an assignment that discards every result (all blanks, at least
 //     one of them an error) with no justification comment on the same
-//     line or the line above.
+//     line or the line above;
+//   - an error-returning call spawned directly by a go or defer
+//     statement (`defer f.Close()`, `go w.Flush()`): the statement
+//     form has no error channel at all, so the drop must either be
+//     justified by a comment (same line or the line above) or the call
+//     wrapped in a function that handles the error. A deferred Close
+//     on a written file is the classic silent data-loss site.
 //
 // fmt's Print family and the Write/String methods of strings.Builder
 // and bytes.Buffer are exempt: their error results are vestigial
 // (documented never to fail for those receivers) and checking them is
-// pure noise. Calls inside defer statements are also skipped — the
-// idiomatic `defer f.Close()` cleanup path has no error channel to
-// propagate into, and rewriting it needs named results, a refactor an
-// analyzer should not force.
+// pure noise.
 var ErrDiscardAnalyzer = &Analyzer{
 	Name: "errdiscard",
 	Doc: "flag error returns dropped on the floor, either as bare call " +
@@ -37,7 +40,9 @@ func runErrDiscard(pass *Pass) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.DeferStmt:
-				return false
+				checkSpawnedCall(pass, comments, n.Call, "defer")
+			case *ast.GoStmt:
+				checkSpawnedCall(pass, comments, n.Call, "go")
 			case *ast.ExprStmt:
 				call, ok := n.X.(*ast.CallExpr)
 				if !ok {
@@ -59,6 +64,23 @@ func runErrDiscard(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// checkSpawnedCall flags an error-returning call used directly as a go
+// or defer statement. A func literal is not a drop site itself — its
+// body is inspected by the normal statement walk.
+func checkSpawnedCall(pass *Pass, comments map[int]bool, call *ast.CallExpr, stmt string) {
+	if _, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return
+	}
+	if errorResultIndex(pass.Info, call) < 0 || errExempt(pass.Info, call) {
+		return
+	}
+	line := pass.Fset.Position(call.Pos()).Line
+	if comments[line] || comments[line-1] {
+		return
+	}
+	pass.Reportf(call.Pos(), "error returned by %s is dropped by the %s statement; wrap it in a func that handles the error or add a justification comment", callName(pass.Info, call), stmt)
 }
 
 // commentLines returns the set of lines in f that carry a comment.

@@ -70,7 +70,8 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check over a type-checked package, or — when
+// RunProject is set — over the whole loaded package set at once.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and suppressions.
 	Name string
@@ -87,7 +88,47 @@ type Analyzer struct {
 	// even inside an in-scope package.
 	ExemptFiles []string
 	// Run inspects pass.Files and calls pass.Reportf for violations.
+	// Nil for project-wide analyzers.
 	Run func(pass *Pass)
+	// RunProject, when set, runs once over the whole package set with
+	// the cross-package call graph instead of per package. Project
+	// analyzers scope themselves (Packages/ExtraFiles/ExemptFiles do
+	// not apply).
+	RunProject func(pass *ProjectPass)
+}
+
+// Project is the whole loaded package set plus its call graph — the
+// view interprocedural analyzers run on.
+type Project struct {
+	// Packages are the loaded packages, sharing one token.FileSet.
+	Packages []*Package
+	// Graph is the static cross-package call graph.
+	Graph *CallGraph
+}
+
+// NewProject builds the interprocedural view of pkgs.
+func NewProject(pkgs []*Package) *Project {
+	return &Project{Packages: pkgs, Graph: BuildCallGraph(pkgs)}
+}
+
+// ProjectPass carries one project analyzer's run.
+type ProjectPass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Project is the loaded package set and call graph.
+	Project *Project
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos, located through fset (use the
+// owning package's or node's FileSet).
+func (p *ProjectPass) Reportf(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // pathSuffixMatch reports whether path ends with suffix on a path
@@ -146,6 +187,9 @@ func Analyzers() []*Analyzer {
 		ErrDiscardAnalyzer,
 		CopyLockAnalyzer,
 		RFCConstAnalyzer,
+		DeterTaintAnalyzer,
+		GoLeakAnalyzer,
+		LockOrderAnalyzer,
 	}
 }
 
@@ -153,8 +197,17 @@ func Analyzers() []*Analyzer {
 // returns every diagnostic, sorted by position then analyzer.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	var project *Project
+	for _, a := range analyzers {
+		if a.RunProject != nil && project == nil {
+			project = NewProject(pkgs)
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			var files []*ast.File
 			for _, f := range pkg.Files {
 				name := pkg.Fset.Position(f.Package).Filename
@@ -175,6 +228,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 			a.Run(pass)
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunProject == nil {
+			continue
+		}
+		a.RunProject(&ProjectPass{Analyzer: a, Project: project, diags: &diags})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
@@ -31,12 +32,25 @@ func TestGolden(t *testing.T) {
 		{lint.ErrDiscardAnalyzer, "errdiscard", "repro/internal/lintfixture"},
 		{lint.CopyLockAnalyzer, "copylock", "repro/internal/lintfixture"},
 		{lint.RFCConstAnalyzer, "rfcconst", "repro/internal/dnswire"},
+		{lint.GoLeakAnalyzer, "goleak", "repro/internal/lintfixture"},
+		{lint.LockOrderAnalyzer, "lockorder", "repro/internal/lintfixture"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
 			runGolden(t, tc.analyzer, tc.dir, tc.pkgPath)
 		})
 	}
+}
+
+// TestGoldenDeterTaint runs the taint analyzer over a two-package
+// fixture: an unscoped infrastructure package and a scoped package
+// importing it, so cross-package chains and sanctioned roots are
+// exercised under the same want-marker contract.
+func TestGoldenDeterTaint(t *testing.T) {
+	runGoldenMulti(t, lint.DeterTaintAnalyzer, "detertaint", []fixturePkg{
+		{subdir: "scanlib", pkgPath: "repro/internal/scanlib"},
+		{subdir: "core", pkgPath: "repro/internal/core"},
+	})
 }
 
 var wantRE = regexp.MustCompile("// want `([^`]+)`")
@@ -46,17 +60,18 @@ type wantDiag struct {
 	matched bool
 }
 
-func runGolden(t *testing.T, analyzer *lint.Analyzer, dir, pkgPath string) {
+// fixtureWants maps file -> line -> expectation.
+type fixtureWants map[string]map[int]*wantDiag
+
+// parseFixtureDir parses every .go file in srcDir, collecting want
+// markers into wants and import paths into imports.
+func parseFixtureDir(t *testing.T, fset *token.FileSet, srcDir string, wants fixtureWants, imports map[string]bool) []*ast.File {
 	t.Helper()
-	srcDir := filepath.Join("testdata", "src", dir)
 	entries, err := os.ReadDir(srcDir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
-	wants := map[string]map[int]*wantDiag{} // file -> line -> expectation
-	imported := map[string]bool{}
 	for _, e := range entries {
 		if filepath.Ext(e.Name()) != ".go" {
 			continue
@@ -69,7 +84,7 @@ func runGolden(t *testing.T, analyzer *lint.Analyzer, dir, pkgPath string) {
 		files = append(files, f)
 		for _, imp := range f.Imports {
 			p, _ := strconv.Unquote(imp.Path.Value)
-			imported[p] = true
+			imports[p] = true
 		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -85,33 +100,22 @@ func runGolden(t *testing.T, analyzer *lint.Analyzer, dir, pkgPath string) {
 			}
 		}
 	}
+	return files
+}
 
-	conf := types.Config{}
-	if len(imported) > 0 {
-		var paths []string
-		for p := range imported {
-			paths = append(paths, p)
-		}
-		imp, err := lint.StdImporter(fset, paths...)
-		if err != nil {
-			t.Fatal(err)
-		}
-		conf.Importer = imp
-	}
-	info := &types.Info{
+func newTypeInfo() *types.Info {
+	return &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Implicits:  make(map[ast.Node]types.Object),
 	}
-	tpkg, err := conf.Check(pkgPath, fset, files, info)
-	if err != nil {
-		t.Fatalf("type-checking fixture: %v", err)
-	}
-	pkg := &lint.Package{Path: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+}
 
-	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{analyzer})
+// checkDiags compares diagnostics against the collected want markers.
+func checkDiags(t *testing.T, diags []lint.Diagnostic, wants fixtureWants) {
+	t.Helper()
 	for _, d := range diags {
 		w := wants[d.Pos.Filename][d.Pos.Line]
 		if w == nil {
@@ -131,4 +135,107 @@ func runGolden(t *testing.T, analyzer *lint.Analyzer, dir, pkgPath string) {
 			}
 		}
 	}
+}
+
+func runGolden(t *testing.T, analyzer *lint.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	wants := fixtureWants{}
+	imported := map[string]bool{}
+	files := parseFixtureDir(t, fset, filepath.Join("testdata", "src", dir), wants, imported)
+
+	conf := types.Config{}
+	if len(imported) > 0 {
+		var paths []string
+		for p := range imported {
+			paths = append(paths, p)
+		}
+		imp, err := lint.StdImporter(fset, paths...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conf.Importer = imp
+	}
+	info := newTypeInfo()
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	pkg := &lint.Package{Path: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}
+
+	checkDiags(t, lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{analyzer}), wants)
+}
+
+// fixturePkg is one package of a multi-package golden fixture.
+type fixturePkg struct {
+	subdir  string // under testdata/src/<root>
+	pkgPath string // fake import path (drives scoping and imports)
+}
+
+// fixtureImporter resolves the fixture's own fake import paths to the
+// already-checked packages and defers everything else to the standard
+// importer.
+type fixtureImporter struct {
+	std   types.Importer
+	local map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.local[path]; ok {
+		return p, nil
+	}
+	if fi.std == nil {
+		return nil, fmt.Errorf("fixture imports %q but no standard importer is configured", path)
+	}
+	return fi.std.Import(path)
+}
+
+// runGoldenMulti type-checks the fixture packages in order (later ones
+// may import earlier ones by their fake paths), runs the analyzer over
+// the whole set, and checks want markers across every file.
+func runGoldenMulti(t *testing.T, analyzer *lint.Analyzer, root string, fixtures []fixturePkg) {
+	t.Helper()
+	fset := token.NewFileSet()
+	wants := fixtureWants{}
+	imported := map[string]bool{}
+	filesByPkg := make([][]*ast.File, len(fixtures))
+	local := map[string]*types.Package{}
+	for i, fx := range fixtures {
+		srcDir := filepath.Join("testdata", "src", root, fx.subdir)
+		filesByPkg[i] = parseFixtureDir(t, fset, srcDir, wants, imported)
+	}
+	var stdPaths []string
+	for p := range imported {
+		isLocal := false
+		for _, fx := range fixtures {
+			if p == fx.pkgPath {
+				isLocal = true
+			}
+		}
+		if !isLocal {
+			stdPaths = append(stdPaths, p)
+		}
+	}
+	var std types.Importer
+	if len(stdPaths) > 0 {
+		var err error
+		std, err = lint.StdImporter(fset, stdPaths...)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	conf := types.Config{Importer: &fixtureImporter{std: std, local: local}}
+
+	var pkgs []*lint.Package
+	for i, fx := range fixtures {
+		info := newTypeInfo()
+		tpkg, err := conf.Check(fx.pkgPath, fset, filesByPkg[i], info)
+		if err != nil {
+			t.Fatalf("type-checking fixture package %s: %v", fx.pkgPath, err)
+		}
+		local[fx.pkgPath] = tpkg
+		pkgs = append(pkgs, &lint.Package{Path: fx.pkgPath, Fset: fset, Files: filesByPkg[i], Types: tpkg, Info: info})
+	}
+
+	checkDiags(t, lint.Run(pkgs, []*lint.Analyzer{analyzer}), wants)
 }

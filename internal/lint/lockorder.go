@@ -1,0 +1,475 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrderAnalyzer enforces intra-type lock discipline for the
+// mutex-guarded types the pipeline grew in PRs 2–3 (scanner limiter
+// and rng, obs registry, netsim host table, resolver caches). Go's
+// sync.Mutex is not reentrant, so the classic refactoring accident —
+// a method takes its receiver's lock and then calls a sibling method
+// that takes the same lock — deadlocks the first time the path runs,
+// and only the path that runs it knows. Two shapes are reported:
+//
+//   - self-deadlock: while holding recv.mu (Lock, or RLock for the
+//     write-acquire case), the method calls another method of the same
+//     receiver that can — transitively, through same-receiver calls —
+//     acquire recv.mu again;
+//
+//   - defer-less early return: a method Locks recv.mu without
+//     deferring the Unlock and reaches a return before any Unlock on
+//     that path, leaving the type locked forever.
+//
+// The path analysis is deliberately forgiving: an Unlock anywhere
+// inside a branch releases the tracked lock for the code after it, so
+// the guard-clause idiom (`if done { mu.Unlock(); return }`) stays
+// silent. The analyzer under-reports rather than flagging idioms.
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc: "flag same-receiver mutex self-deadlocks (lock held across a " +
+		"call that re-acquires it) and early returns while holding a " +
+		"defer-less lock",
+	RunProject: runLockOrder,
+}
+
+// lockKind distinguishes write from read acquisition.
+type lockKind int
+
+const (
+	lockWrite lockKind = iota // Lock
+	lockRead                  // RLock
+)
+
+// acquireSet maps a receiver-lock path ("mu", "idMu") to the kinds a
+// method may acquire it with.
+type acquireSet map[string]map[lockKind]bool
+
+func (s acquireSet) add(path string, k lockKind) bool {
+	if s[path] == nil {
+		s[path] = map[lockKind]bool{}
+	}
+	if s[path][k] {
+		return false
+	}
+	s[path][k] = true
+	return true
+}
+
+// methodInfo is the per-method lock summary.
+type methodInfo struct {
+	node *CallNode
+	// recv is the receiver identifier object, used to root lock paths.
+	recv *types.Var
+	// acquires is the transitive may-acquire set.
+	acquires acquireSet
+	// calls are same-receiver sibling calls: callee method -> sites.
+	calls map[*types.Func][]ast.Node
+}
+
+func runLockOrder(pass *ProjectPass) {
+	// Group methods by their receiver's named type.
+	byType := map[*types.TypeName][]*methodInfo{}
+	var typeOrder []*types.TypeName
+	for _, node := range pass.Project.Graph.Nodes {
+		if node.Func == nil || node.Decl == nil || node.Decl.Body == nil {
+			continue
+		}
+		sig := node.Func.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			continue
+		}
+		tn := receiverTypeName(sig.Recv().Type())
+		if tn == nil {
+			continue
+		}
+		mi := summarizeMethod(node)
+		if mi == nil {
+			continue
+		}
+		if byType[tn] == nil {
+			typeOrder = append(typeOrder, tn)
+		}
+		byType[tn] = append(byType[tn], mi)
+	}
+
+	for _, tn := range typeOrder {
+		methods := byType[tn]
+		propagateAcquires(methods)
+		byFunc := map[*types.Func]*methodInfo{}
+		for _, mi := range methods {
+			byFunc[mi.node.Func] = mi
+		}
+		for _, mi := range methods {
+			checkMethodPaths(pass, mi, byFunc)
+		}
+	}
+}
+
+// receiverTypeName resolves the named type behind a method receiver.
+func receiverTypeName(t types.Type) *types.TypeName {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// summarizeMethod records a method's direct lock acquisitions and its
+// same-receiver sibling calls. Function literals inside the body are
+// excluded: they may run on another goroutine, where re-acquisition is
+// contention, not deadlock.
+func summarizeMethod(node *CallNode) *methodInfo {
+	recvField := node.Decl.Recv.List[0]
+	if len(recvField.Names) == 0 {
+		return nil // anonymous receiver: no lock paths can root on it
+	}
+	recv, _ := node.Pkg.Info.Defs[recvField.Names[0]].(*types.Var)
+	if recv == nil {
+		return nil
+	}
+	mi := &methodInfo{
+		node:     node,
+		recv:     recv,
+		acquires: acquireSet{},
+		calls:    map[*types.Func][]ast.Node{},
+	}
+	info := node.Pkg.Info
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if path, kind, op := receiverLockOp(info, recv, call); op && kind != lockOpUnlock && kind != lockOpRUnlock {
+			if kind == lockOpLock {
+				mi.acquires.add(path, lockWrite)
+			} else {
+				mi.acquires.add(path, lockRead)
+			}
+			return true
+		}
+		if fn := siblingCall(info, recv, call); fn != nil {
+			mi.calls[fn] = append(mi.calls[fn], call)
+		}
+		return true
+	})
+	return mi
+}
+
+// lockOp identifies the four sync lock method names.
+type lockOp int
+
+const (
+	lockOpNone lockOp = iota
+	lockOpLock
+	lockOpRLock
+	lockOpUnlock
+	lockOpRUnlock
+)
+
+// receiverLockOp matches calls of the form recv.path.Lock() (or
+// RLock/Unlock/RUnlock) where path is a selector chain rooted at the
+// method receiver and the callee is sync.Mutex or sync.RWMutex.
+func receiverLockOp(info *types.Info, recv *types.Var, call *ast.CallExpr) (path string, op lockOp, ok bool) {
+	sel, selOk := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOk {
+		return "", lockOpNone, false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockOpNone, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		op = lockOpLock
+	case "RLock":
+		op = lockOpRLock
+	case "Unlock":
+		op = lockOpUnlock
+	case "RUnlock":
+		op = lockOpRUnlock
+	default:
+		return "", lockOpNone, false
+	}
+	path, rooted := receiverPath(info, recv, sel.X)
+	if !rooted {
+		return "", lockOpNone, false
+	}
+	return path, op, true
+}
+
+// receiverPath renders a selector chain ("mu", "inner.mu") if it is
+// rooted at the method receiver; ok is false otherwise.
+func receiverPath(info *types.Info, recv *types.Var, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return "", info.ObjectOf(e) == recv
+	case *ast.SelectorExpr:
+		prefix, ok := receiverPath(info, recv, e.X)
+		if !ok {
+			return "", false
+		}
+		if prefix == "" {
+			return e.Sel.Name, true
+		}
+		return prefix + "." + e.Sel.Name, true
+	case *ast.StarExpr:
+		return receiverPath(info, recv, e.X)
+	}
+	return "", false
+}
+
+// siblingCall resolves recv.Method(...) calls to the callee, nil for
+// anything else.
+func siblingCall(info *types.Info, recv *types.Var, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if path, rooted := receiverPath(info, recv, sel.X); !rooted || path != "" {
+		return nil // not a direct method on the receiver itself
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return nil
+	}
+	return fn
+}
+
+// propagateAcquires closes each method's acquire set over
+// same-receiver calls (fixpoint; the graphs are tiny).
+func propagateAcquires(methods []*methodInfo) {
+	byFunc := map[*types.Func]*methodInfo{}
+	for _, mi := range methods {
+		byFunc[mi.node.Func] = mi
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, mi := range methods {
+			for callee := range mi.calls {
+				cmi := byFunc[callee]
+				if cmi == nil {
+					continue
+				}
+				for path, kinds := range cmi.acquires {
+					for k := range kinds {
+						if mi.acquires.add(path, k) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// heldLock is the tracked state of one receiver lock.
+type heldLock struct {
+	kind     lockKind
+	deferred bool // a defer recv.path.Unlock() covers returns
+	pos      token.Pos
+}
+
+// checkMethodPaths walks one method's statements tracking which
+// receiver locks are held, reporting re-acquiring sibling calls and
+// defer-less early returns.
+func checkMethodPaths(pass *ProjectPass, mi *methodInfo, byFunc map[*types.Func]*methodInfo) {
+	held := map[string]*heldLock{}
+	walkHeldStmts(pass, mi, byFunc, mi.node.Decl.Body.List, held)
+}
+
+// cloneHeld copies the held map for branch-local tracking.
+func cloneHeld(held map[string]*heldLock) map[string]*heldLock {
+	out := make(map[string]*heldLock, len(held))
+	for k, v := range held {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// walkHeldStmts processes a statement list sequentially.
+func walkHeldStmts(pass *ProjectPass, mi *methodInfo, byFunc map[*types.Func]*methodInfo, stmts []ast.Stmt, held map[string]*heldLock) {
+	info := mi.node.Pkg.Info
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if path, op, ok := receiverLockOp(info, mi.recv, call); ok {
+					switch op {
+					case lockOpLock:
+						held[path] = &heldLock{kind: lockWrite, pos: call.Pos()}
+					case lockOpRLock:
+						held[path] = &heldLock{kind: lockRead, pos: call.Pos()}
+					case lockOpUnlock, lockOpRUnlock:
+						delete(held, path)
+					}
+					continue
+				}
+			}
+			checkExprLocks(pass, mi, byFunc, s.X, held)
+		case *ast.DeferStmt:
+			if path, op, ok := receiverLockOp(info, mi.recv, s.Call); ok && (op == lockOpUnlock || op == lockOpRUnlock) {
+				if h := held[path]; h != nil {
+					h.deferred = true
+				}
+				continue
+			}
+			checkExprLocks(pass, mi, byFunc, s.Call, held)
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				checkExprLocks(pass, mi, byFunc, e, held)
+			}
+			reportEarlyReturns(pass, mi, s, held)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walkHeldStmts(pass, mi, byFunc, []ast.Stmt{s.Init}, held)
+			}
+			checkExprLocks(pass, mi, byFunc, s.Cond, held)
+			walkHeldStmts(pass, mi, byFunc, s.Body.List, cloneHeld(held))
+			if s.Else != nil {
+				walkHeldStmts(pass, mi, byFunc, []ast.Stmt{s.Else}, cloneHeld(held))
+			}
+			releaseBranchUnlocks(info, mi.recv, s, held)
+		case *ast.BlockStmt:
+			walkHeldStmts(pass, mi, byFunc, s.List, held)
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt:
+			inner := branchBody(s)
+			walkHeldStmts(pass, mi, byFunc, inner, cloneHeld(held))
+			releaseBranchUnlocks(info, mi.recv, s, held)
+		default:
+			checkStmtLocks(pass, mi, byFunc, stmt, held)
+		}
+	}
+}
+
+// branchBody flattens the statement lists nested under a branching
+// statement so the walk can recurse uniformly.
+func branchBody(s ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			out = append(out, n.List...)
+			return false
+		case *ast.CaseClause:
+			out = append(out, n.Body...)
+			return false
+		case *ast.CommClause:
+			out = append(out, n.Body...)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// releaseBranchUnlocks drops tracked locks that some branch of s
+// unlocks: after the branch the lock may or may not be held, and the
+// analyzer prefers silence to guessing.
+func releaseBranchUnlocks(info *types.Info, recv *types.Var, s ast.Stmt, held map[string]*heldLock) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if path, op, ok := receiverLockOp(info, recv, call); ok && (op == lockOpUnlock || op == lockOpRUnlock) {
+			delete(held, path)
+		}
+		return true
+	})
+}
+
+// reportEarlyReturns flags returns reached while a defer-less lock is
+// held.
+func reportEarlyReturns(pass *ProjectPass, mi *methodInfo, ret *ast.ReturnStmt, held map[string]*heldLock) {
+	paths := make([]string, 0, len(held))
+	for path, h := range held {
+		if !h.deferred {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		pass.Reportf(mi.node.Pkg.Fset, ret.Pos(),
+			"return while holding %s.%s with no deferred Unlock; unlock before returning or `defer %s.%s.Unlock()` at the Lock site",
+			mi.recv.Name(), path, mi.recv.Name(), path)
+	}
+}
+
+// checkStmtLocks scans a statement's expressions for sibling calls
+// while locks are held (assignments, sends, declarations...).
+func checkStmtLocks(pass *ProjectPass, mi *methodInfo, byFunc map[*types.Func]*methodInfo, stmt ast.Stmt, held map[string]*heldLock) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			checkExprLocks(pass, mi, byFunc, e, held)
+			return false
+		}
+		return true
+	})
+}
+
+// checkExprLocks reports sibling calls inside e that can re-acquire a
+// lock currently held.
+func checkExprLocks(pass *ProjectPass, mi *methodInfo, byFunc map[*types.Func]*methodInfo, e ast.Expr, held map[string]*heldLock) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	info := mi.node.Pkg.Info
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := siblingCall(info, mi.recv, call)
+		if fn == nil {
+			return true
+		}
+		cmi := byFunc[fn]
+		if cmi == nil {
+			return true
+		}
+		paths := make([]string, 0, len(held))
+		for path := range held {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			kinds := cmi.acquires[path]
+			if kinds == nil {
+				continue
+			}
+			h := held[path]
+			// Re-acquiring Lock deadlocks under any held kind; RLock
+			// deadlocks only against a held write lock (and RLock-
+			// after-RLock is legal, if inadvisable).
+			if kinds[lockWrite] || (h.kind == lockWrite && kinds[lockRead]) {
+				pass.Reportf(mi.node.Pkg.Fset, call.Pos(),
+					"calling %s while holding %s.%s self-deadlocks: it acquires %s.%s again (lock taken at line %d)",
+					fn.Name(), mi.recv.Name(), path, mi.recv.Name(), path,
+					mi.node.Pkg.Fset.Position(h.pos).Line)
+			}
+		}
+		return true
+	})
+}

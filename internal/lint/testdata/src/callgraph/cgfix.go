@@ -1,0 +1,33 @@
+// Package cgfix exercises every edge kind the call-graph builder
+// resolves; callgraph_test.go asserts the resulting edges.
+package cgfix
+
+func callee() {}
+
+func plainCall() { callee() }
+
+func spawn() { go callee() }
+
+func deferred() { defer callee() }
+
+func closure() int {
+	f := func() int { return 1 }
+	return f()
+}
+
+func immediate() {
+	func() { callee() }()
+}
+
+func reference() func() { return callee }
+
+// Doer is dispatched through below.
+type Doer interface{ Do() }
+
+// RealDoer is the one concrete implementation in the fixture.
+type RealDoer struct{}
+
+// Do implements Doer.
+func (RealDoer) Do() {}
+
+func dispatch(d Doer) { d.Do() }

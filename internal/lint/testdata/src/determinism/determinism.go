@@ -87,3 +87,20 @@ func countRange(m map[string]int) int {
 	}
 	return n
 }
+
+// annotatedRoot is a near miss: the //repro:nondeterministic directive
+// (with a reason) marks a sanctioned root, so the intraprocedural scan
+// skips the body; detertaint audits the directive itself.
+//
+//repro:nondeterministic fixture: telemetry clock, never report data
+func annotatedRoot() time.Time {
+	return time.Now()
+}
+
+// bareAnnotation does NOT waive the finding: a directive without a
+// reason is no waiver (and detertaint reports the directive).
+//
+//repro:nondeterministic
+func bareAnnotation() time.Time {
+	return time.Now() // want `call to time.Now leaks the wall clock`
+}

@@ -1,0 +1,52 @@
+// Package core is the scoped half of the detertaint fixture: its fake
+// import path ends in internal/core, so any path from here to a
+// nondeterminism source must be reported with the full call chain.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/scanlib"
+)
+
+// Survey reaches the wall clock through the other package: reported
+// here, with the cross-package chain in the message.
+func Survey() time.Time { // want `core\.Survey reaches nondeterminism source time\.Now: core\.Survey → scanlib\.Clock → time\.Now`
+	return scanlib.Clock()
+}
+
+// Outer is a near miss: taint is reported at the innermost scoped
+// function only, so the outer caller stays silent.
+func Outer() time.Time { return Inner() }
+
+// Inner is that innermost function.
+func Inner() time.Time { // want `core\.Inner reaches nondeterminism source time\.Now`
+	return scanlib.Clock()
+}
+
+// ViaSanctioned is a near miss: the annotated root absorbs the taint.
+func ViaSanctioned() time.Time { return scanlib.Sanctioned() }
+
+// Spawn reaches the clock from a goroutine: the closure is its own
+// graph node, and the report lands on the enclosing declared function.
+func Spawn(out chan<- time.Time) { // want `core\.Spawn reaches nondeterminism source time\.Now`
+	go func() { out <- scanlib.Clock() }()
+}
+
+// Dispatch reaches the clock through interface dispatch: the graph
+// fans the call out to every satisfying concrete type.
+func Dispatch(tk scanlib.Ticker) time.Time { // want `core\.Dispatch reaches nondeterminism source time\.Now`
+	return tk.Tick()
+}
+
+// Render is a direct seed: output written under map iteration order.
+func Render(w io.Writer, m map[string]int) { // want `core\.Render reaches nondeterminism source map-iteration-order output`
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// Pure is a near miss: no path to any source.
+func Pure(a, b int) int { return a + b }

@@ -1,0 +1,32 @@
+// Package scanlib is the unscoped half of the detertaint fixture: the
+// infrastructure layer the scoped package reaches nondeterminism
+// through. Nothing here is reported for taint (the package is outside
+// the deterministic roots); only the directive-hygiene rule applies.
+package scanlib
+
+import "time"
+
+// Clock is an unannotated nondeterminism source: callers in scoped
+// packages are tainted through it.
+func Clock() time.Time { return time.Now() }
+
+// Sanctioned is an annotated root: taint stops here, so scoped callers
+// stay clean.
+//
+//repro:nondeterministic fixture: feeds telemetry only, never report data
+func Sanctioned() time.Time { return time.Now() }
+
+// BareDirective carries the directive without a reason — a finding in
+// its own right, wherever the function lives.
+//
+//repro:nondeterministic
+func BareDirective() time.Time { return time.Now() } // want `directive without a reason`
+
+// Ticker is the interface-dispatch half of the fixture.
+type Ticker interface{ Tick() time.Time }
+
+// SysTicker reads the clock on dispatch.
+type SysTicker struct{}
+
+// Tick implements Ticker from the wall clock.
+func (SysTicker) Tick() time.Time { return time.Now() }

@@ -69,7 +69,36 @@ func builder() string {
 	return sb.String()
 }
 
-// deferredClose is a near miss: defers are exempt by design.
 func deferredClose(f *os.File) {
+	defer f.Close() // want `error returned by Close is dropped by the defer statement`
+}
+
+func spawnedClose(f *os.File) {
+	go f.Close() // want `error returned by Close is dropped by the go statement`
+}
+
+// deferredJustified is a near miss: the same-line comment waives it.
+func deferredJustified(f *os.File) {
+	defer f.Close() // fixture: read-only handle, close error is moot
+}
+
+// deferredJustifiedAbove is a near miss: the preceding-line comment
+// waives it.
+func deferredJustifiedAbove(f *os.File) {
+	// fixture: read-only handle, close error is moot
 	defer f.Close()
+}
+
+// deferredWrapper is a near miss for the defer statement itself, but
+// the literal body is still walked: the uncommented discard inside is
+// reported.
+func deferredWrapper(f *os.File) {
+	defer func() {
+		_ = f.Close() // want `error discarded with _ = and no justification comment`
+	}()
+}
+
+// spawnedPrint is a near miss: fmt print errors stay vestigial under go.
+func spawnedPrint() {
+	go fmt.Println("hello")
 }

@@ -1,0 +1,127 @@
+// Package lockorder is a golden-file fixture for the intra-type
+// lock-discipline analyzer (which scopes itself over the whole
+// project, so the import path is irrelevant).
+package lockorder
+
+import "sync"
+
+// Counter guards its state with a non-reentrant mutex.
+type Counter struct {
+	mu     sync.Mutex
+	n      int
+	closed bool
+}
+
+func (c *Counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// BumpTwice self-deadlocks: bump re-acquires c.mu while it is held
+// (the deferred unlock has not run at the call point).
+func (c *Counter) BumpTwice() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump() // want `calling bump while holding c\.mu self-deadlocks`
+}
+
+// Transitive self-deadlocks through a lock-free intermediary: the
+// acquire sets close over same-receiver calls.
+func (c *Counter) Transitive() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.indirect() // want `calling indirect while holding c\.mu self-deadlocks`
+}
+
+func (c *Counter) indirect() { c.bump() }
+
+// EarlyReturn leaks the lock on the early path: no deferred unlock and
+// no unlock before the return.
+func (c *Counter) EarlyReturn(x bool) int {
+	c.mu.Lock()
+	if x {
+		return 0 // want `return while holding c\.mu with no deferred Unlock`
+	}
+	c.mu.Unlock()
+	return c.n
+}
+
+// Guarded is a near miss: the guard clause unlocks before returning
+// (the netsim Server.Close shape), and after the branch the analyzer
+// treats the lock as possibly released rather than guessing.
+func (c *Counter) Guarded() int {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// DeferredReturns is a near miss: the deferred unlock covers every
+// return path.
+func (c *Counter) DeferredReturns(x bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if x {
+		return 0
+	}
+	return c.n
+}
+
+// Handoff is a near miss: the sibling call runs after the unlock.
+func (c *Counter) Handoff() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.bump()
+}
+
+// SpawnedBump is a near miss: a literal may run on another goroutine,
+// where re-acquisition is contention, not self-deadlock.
+func (c *Counter) SpawnedBump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() { c.bump() }()
+}
+
+// Table guards reads with an RWMutex.
+type Table struct {
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+func (t *Table) set(k string, v int) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.m[k] = v
+}
+
+func (t *Table) get(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+// GetOrInit self-deadlocks: set needs the write lock while the read
+// lock is held, and RWMutex writers wait for readers.
+func (t *Table) GetOrInit(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	if _, ok := t.m[k]; !ok {
+		t.set(k, 0) // want `calling set while holding t\.rw self-deadlocks`
+	}
+	return t.m[k]
+}
+
+// DoubleRead is a near miss: RLock after RLock is legal (if
+// inadvisable), so only a write re-acquisition under a read lock
+// reports.
+func (t *Table) DoubleRead(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.get(k)
+}

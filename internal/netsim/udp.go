@@ -146,7 +146,7 @@ func (s *Server) serveTCP() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer conn.Close() // response already sent; close error is moot
 			// SetDeadline on a live TCP conn cannot fail; a stale conn
 			// surfaces as a read error on the next loop iteration.
 			_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
@@ -213,6 +213,8 @@ func (u *UDPExchanger) timeout() time.Duration {
 }
 
 // Exchange implements Exchanger.
+//
+//repro:nondeterministic clock reads set real-socket I/O deadlines, not response content
 func (u *UDPExchanger) Exchange(ctx context.Context, server netip.AddrPort, query *dnswire.Message) (*dnswire.Message, error) {
 	wire, err := query.Pack()
 	if err != nil {
@@ -243,6 +245,8 @@ func (u *UDPExchanger) exchangeUDPOnce(ctx context.Context, server netip.AddrPor
 	if err != nil {
 		return nil, err
 	}
+	// The exchange outcome is decided by the read; close errors on the
+	// drained socket carry no signal.
 	defer conn.Close()
 	deadline := time.Now().Add(u.timeout())
 	if ctxDL, ok := ctx.Deadline(); ok && ctxDL.Before(deadline) {
@@ -277,6 +281,8 @@ func (u *UDPExchanger) exchangeTCP(ctx context.Context, server netip.AddrPort, q
 	if err != nil {
 		return nil, err
 	}
+	// The exchange outcome is decided by the read; close errors on the
+	// drained socket carry no signal.
 	defer conn.Close()
 	deadline := time.Now().Add(u.timeout())
 	if ctxDL, ok := ctx.Deadline(); ok && ctxDL.Before(deadline) {

@@ -26,17 +26,26 @@ func NewHandler(reg *Registry) http.Handler {
 
 // Serve exposes reg on addr (host:port; port 0 picks a free one) and
 // returns the bound address plus a shutdown function. The server runs
-// until the shutdown function is called.
+// until the shutdown function is called; shutdown waits for the serve
+// goroutine to exit, so a caller that stops the server and then tears
+// down the registry (or the test binary) cannot race a final accept.
 func Serve(addr string, reg *Registry) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: NewHandler(reg)}
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		// Serve returns http.ErrServerClosed on shutdown — the normal
 		// exit path, nothing to report.
 		_ = srv.Serve(ln)
 	}()
-	return ln.Addr().String(), srv.Close, nil
+	shutdown := func() error {
+		err := srv.Close()
+		<-done
+		return err
+	}
+	return ln.Addr().String(), shutdown, nil
 }

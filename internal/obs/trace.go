@@ -1,12 +1,14 @@
 package obs
 
 // This file is the one place in internal/obs that reads the wall
-// clock, and it is exempted by name from the determinism analyzer
-// (internal/lint/determinism.go). The exemption is deliberate and
-// narrow: a span tracer's whole job is to measure real elapsed time,
-// so unlike the population/analysis layers it cannot run off the
-// simulation clock — and nothing a span measures feeds back into
-// experiment output, only into telemetry.
+// clock. The clock reads are sanctioned per function with
+// //repro:nondeterministic directives (checked by the detertaint
+// analyzer, which propagates taint over the cross-package call graph
+// and stops at annotated roots). The waiver is deliberate and narrow:
+// a span tracer's whole job is to measure real elapsed time, so unlike
+// the population/analysis layers it cannot run off the simulation
+// clock — and nothing a span measures feeds back into experiment
+// output, only into telemetry.
 
 import (
 	"time"
@@ -53,6 +55,8 @@ type spanJSON struct {
 
 // Start begins timing one phase of one shard (use shard 0 for
 // unsharded work). Valid on a nil tracer.
+//
+//repro:nondeterministic span start times are telemetry, never report data
 func (t *Tracer) Start(phase string, shard int) *Span {
 	return &Span{t: t, phase: phase, shard: shard, start: time.Now()}
 }
@@ -60,6 +64,8 @@ func (t *Tracer) Start(phase string, shard int) *Span {
 // End stops the span, emits its NDJSON record when the tracer has a
 // writer, and returns the measured duration. Idempotent: later calls
 // return the first duration without re-emitting.
+//
+//repro:nondeterministic span durations are telemetry, never report data
 func (s *Span) End() time.Duration {
 	if s.ended {
 		return s.dur

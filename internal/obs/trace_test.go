@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // bufLineWriter is a minimal LineWriter capturing emitted values.
@@ -99,5 +102,35 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "demo_total 9") {
 		t.Errorf("metrics: %d %q", code, body)
+	}
+}
+
+// TestServeStopWaits pins the shutdown contract: stop() returns only
+// after the serve goroutine has exited, so the port is immediately
+// rebindable and no goroutine outlives the stop call (the goleak
+// finding this fixed: Serve spawned a goroutine nothing waited for).
+func TestServeStopWaits(t *testing.T) {
+	before := runtime.NumGoroutine()
+	addr, stop, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	// The goroutine closes done before returning; give the scheduler a
+	// few turns to finish unwinding the stack.
+	for i := 0; i < 100 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("%d goroutines before Serve, %d after stop", before, now)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after stop: %v", err)
+	}
+	if err := ln.Close(); err != nil {
+		t.Error(err)
 	}
 }

@@ -167,10 +167,16 @@ type Result struct {
 	EDE       []dnswire.EDE
 }
 
+// wallClock is the default Config.Now: serial-arithmetic seconds from
+// the system clock, as RFC 4034 §3.1.5 validity checks expect.
+//
+//repro:nondeterministic default signature-validity clock; deterministic runs inject Config.Now
+func wallClock() uint32 { return uint32(time.Now().Unix()) }
+
 // New creates a resolver from cfg.
 func New(cfg Config) *Resolver {
 	if cfg.Now == nil {
-		cfg.Now = func() uint32 { return uint32(time.Now().Unix()) }
+		cfg.Now = wallClock
 	}
 	if cfg.MaxCacheEntries == 0 {
 		cfg.MaxCacheEntries = 4096

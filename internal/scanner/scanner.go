@@ -181,6 +181,8 @@ func (s *Scanner) id() uint16 {
 // retrying transport-level failures with jittered exponential backoff.
 // Every attempt pays the rate limiter, so retries cannot push the
 // scanner over its QPS budget.
+//
+//repro:nondeterministic clock reads drive rate limiting and latency metrics, not scan results
 func (s *Scanner) query(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
 	backoff := s.cfg.RetryBackoff
 	var lastErr error
