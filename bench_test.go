@@ -202,28 +202,39 @@ func BenchmarkFig1DomainScan(b *testing.B) {
 // The sharded survey pipeline end to end.
 
 // BenchmarkSurveyShardedEndToEnd runs the whole §4.1 survey through the
-// streaming generate→deploy→scan→merge loop at different shard counts.
-// Results are identical at every count (TestSurveyShardEquivalence);
-// what varies is the memory envelope — O(Registered/Shards) — and the
-// per-shard deploy overhead this benchmark makes visible.
+// streaming generate→deploy→scan→merge loop at different shard counts
+// and signing modes. Results are identical in every cell
+// (TestSurveyShardEquivalence, TestSurveyEagerLazyEquivalence); what
+// varies is the memory envelope — lazy signing skips the untouched
+// part of each shard's 1,449-zone TLD registry plus all deferred
+// raw-zone construction, which shows up directly in B/op.
 func BenchmarkSurveyShardedEndToEnd(b *testing.B) {
-	for _, shards := range []int{1, 4} {
-		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				report, err := core.RunSurvey(context.Background(), core.SurveyConfig{
-					Registered: 600,
-					Seed:       3,
-					Shards:     shards,
-				})
-				if err != nil {
-					b.Fatal(err)
+	for _, mode := range []struct {
+		name    string
+		signing core.SigningMode
+	}{
+		{"lazy", core.SigningLazy},
+		{"eager", core.SigningEager},
+	} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/shards-%d", mode.name, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					report, err := core.RunSurvey(context.Background(), core.SurveyConfig{
+						Registered: 600,
+						Seed:       3,
+						Shards:     shards,
+						Signing:    mode.signing,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if report.Agg.Total != 600 {
+						b.Fatal("short survey")
+					}
 				}
-				if report.Agg.Total != 600 {
-					b.Fatal("short survey")
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

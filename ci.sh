@@ -20,7 +20,7 @@ go test -run='^$' -fuzz=FuzzDecodeMessage -fuzztime=5s ./internal/dnswire/
 go test -run='^$' -fuzz=FuzzDecodeName -fuzztime=5s ./internal/dnswire/
 go test -run='^$' -fuzz=FuzzHash -fuzztime=5s ./internal/nsec3/
 
-echo "== bench smoke (sharded survey, 1 iteration) =="
+echo "== bench smoke (sharded survey, lazy + eager, 1 iteration) =="
 go test -run='^$' -bench=Survey -benchtime=1x .
 
 echo "== metrics smoke (authd -metrics, /healthz + /metrics) =="
@@ -29,8 +29,10 @@ go build -o "$SMOKE_DIR/authd" ./cmd/authd
 "$SMOKE_DIR/authd" -testbed -listen 127.0.0.1:0 -metrics 127.0.0.1:0 \
   >"$SMOKE_DIR/authd.log" 2>&1 &
 AUTHD_PID=$!
+REPRO_PID=""
 cleanup() {
   kill "$AUTHD_PID" 2>/dev/null || true
+  [ -n "$REPRO_PID" ] && kill "$REPRO_PID" 2>/dev/null || true
   rm -rf "$SMOKE_DIR"
 }
 trap cleanup EXIT
@@ -46,6 +48,33 @@ curl -fsS "${METRICS_URL%/metrics}/healthz" | grep -qx 'ok'
 curl -fsS "$METRICS_URL" | grep -q '^authd_zones '
 curl -fsS "$METRICS_URL" | grep -q '^authd_queries_total '
 echo "metrics smoke OK ($METRICS_URL)"
+
+echo "== survey metrics smoke (repro -shards 2, lazy signing) =="
+go build -o "$SMOKE_DIR/repro" ./cmd/repro
+"$SMOKE_DIR/repro" -fig1 -shards 2 -domain-scale 50000 -metrics 127.0.0.1:0 \
+  >"$SMOKE_DIR/repro.log" 2>&1 &
+REPRO_PID=$!
+SURVEY_URL=""
+for _ in $(seq 1 100); do
+  SURVEY_URL=$(sed -n 's#^repro: metrics on \(http://[^ ]*\)/metrics$#\1/metrics#p' "$SMOKE_DIR/repro.log")
+  [ -n "$SURVEY_URL" ] && break
+  sleep 0.1
+done
+[ -n "$SURVEY_URL" ] || { echo "repro never exposed /metrics"; cat "$SMOKE_DIR/repro.log"; exit 1; }
+# Snapshot /metrics until the run exits: the endpoint dies with the
+# process, so keep the last good scrape and assert on that.
+SNAP="$SMOKE_DIR/metrics.snap"
+: > "$SNAP"
+while kill -0 "$REPRO_PID" 2>/dev/null; do
+  curl -fsS "$SURVEY_URL" > "$SNAP.tmp" 2>/dev/null && mv "$SNAP.tmp" "$SNAP"
+  sleep 0.1
+done
+wait "$REPRO_PID" || { echo "repro exited nonzero"; cat "$SMOKE_DIR/repro.log"; exit 1; }
+REPRO_PID=""
+grep -q '^survey_zones_signed_lazily_total ' "$SNAP"
+grep -q '^survey_zones_untouched_total ' "$SNAP"
+grep -q '^authserver_sign_wait_ns_count ' "$SNAP"
+echo "survey metrics smoke OK ($SURVEY_URL)"
 
 echo "== reprolint (baseline ratchet) =="
 # The baseline is the tolerated-findings ratchet. MAX_BASELINE pins the

@@ -54,6 +54,7 @@ func run() error {
 		timeline = flag.Bool("timeline", false, "§6 future work: compliance over the 2020–2024 migrations")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		shards   = flag.Int("shards", 1, "stream the domain survey in this many bounded shards (same results at any value)")
+		signing  = flag.String("signing", "lazy", "zone signing mode for the survey: lazy (sign on first query) or eager (sign at deploy); same results either way")
 		dScale   = flag.Int("domain-scale", 10000, "divide the 302 M-domain universe by this")
 		rScale   = flag.Int("resolver-scale", 200, "divide the resolver fleet by this")
 		tScale   = flag.Int("tranco-scale", 100, "divide the 1 M Tranco list by this")
@@ -63,6 +64,15 @@ func run() error {
 	flag.Parse()
 	if !(*table1 || *fig1 || *fig2 || *table2 || *tlds || *fig3 || *timeline) {
 		*all = true
+	}
+	var signingMode core.SigningMode
+	switch *signing {
+	case "lazy":
+		signingMode = core.SigningLazy
+	case "eager":
+		signingMode = core.SigningEager
+	default:
+		return fmt.Errorf("unknown -signing mode %q (want lazy or eager)", *signing)
 	}
 	ctx := context.Background()
 
@@ -102,6 +112,7 @@ func run() error {
 			Registered: population.FullRegistered / *dScale,
 			Seed:       *seed,
 			Shards:     *shards,
+			Signing:    signingMode,
 			Obs:        reg,
 			Trace:      tracer,
 		})

@@ -13,29 +13,48 @@ package authserver
 
 import (
 	"context"
+	"errors"
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dnswire"
+	"repro/internal/obs"
 	"repro/internal/zone"
 )
 
 // Server is an authoritative name server for one or more signed zones.
+// Zones are installed either eagerly (AddZone) or lazily (AddLazyZone:
+// an apex plus a SignFunc that the first query runs under a per-zone
+// singleflight).
 type Server struct {
 	mu       sync.RWMutex
 	zones    map[dnswire.Name]*zone.Signed
+	lazy     map[dnswire.Name]*lazyZone
 	transfer map[dnswire.Name]zone.TransferPolicy
+
+	lazyTotal atomic.Int64 // lazy zones ever registered
+	lazyMat   atomic.Int64 // lazy zones materialized so far
+
+	// Instrumentation (nil without Instrument; obs types are nil-safe).
+	mSignWait   *obs.Histogram
+	mLazySigned *obs.Counter
 
 	// Log, when non-nil, records every query source (forwarder
 	// detection in the resolver experiment).
 	Log *QueryLog
 }
 
+// errNoZone reports a query for a name this server hosts no zone for
+// (answered with REFUSED, unlike a signing failure's SERVFAIL).
+var errNoZone = errors.New("authserver: no zone for qname")
+
 // New creates an empty server.
 func New() *Server {
 	return &Server{
 		zones:    make(map[dnswire.Name]*zone.Signed),
+		lazy:     make(map[dnswire.Name]*lazyZone),
 		transfer: make(map[dnswire.Name]zone.TransferPolicy),
 	}
 }
@@ -55,46 +74,92 @@ func (s *Server) AddZone(sz *zone.Signed) {
 	s.zones[sz.Zone.Apex] = sz
 }
 
-// ZoneFor returns the deepest zone whose apex is an ancestor of (or
-// equal to) qname.
-func (s *Server) ZoneFor(qname dnswire.Name) (*zone.Signed, bool) {
+// apexFor picks the deepest hosted apex — eagerly installed or lazily
+// registered — that is an ancestor of (or equal to) qname.
+func (s *Server) apexFor(qname dnswire.Name) (dnswire.Name, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var best *zone.Signed
+	var best dnswire.Name
 	bestDepth := -1
-	for apex, sz := range s.zones {
+	for apex := range s.zones {
 		if qname.IsSubdomainOf(apex) {
 			if d := apex.CountLabels(); d > bestDepth {
-				best, bestDepth = sz, d
+				best, bestDepth = apex, d
 			}
 		}
 	}
-	return best, best != nil
+	for apex := range s.lazy {
+		if qname.IsSubdomainOf(apex) {
+			if d := apex.CountLabels(); d > bestDepth {
+				best, bestDepth = apex, d
+			}
+		}
+	}
+	return best, bestDepth >= 0
+}
+
+// zoneAt returns the signed zone hosted at apex, materializing it
+// first when the apex is lazily registered. The materialized zone is
+// promoted into the eager map, so only the first query pays.
+func (s *Server) zoneAt(apex dnswire.Name) (*zone.Signed, error) {
+	s.mu.RLock()
+	sz, ok := s.zones[apex]
+	lz := s.lazy[apex]
+	s.mu.RUnlock()
+	if ok {
+		return sz, nil
+	}
+	if lz == nil {
+		return nil, errNoZone
+	}
+	return s.materialize(lz)
+}
+
+// ZoneFor returns the deepest zone whose apex is an ancestor of (or
+// equal to) qname, materializing it when lazily registered. A zone
+// whose lazy signing failed reports false.
+func (s *Server) ZoneFor(qname dnswire.Name) (*zone.Signed, bool) {
+	apex, ok := s.apexFor(qname)
+	if !ok {
+		return nil, false
+	}
+	sz, err := s.zoneAt(apex)
+	return sz, err == nil
 }
 
 // zoneForQuery routes a query to the right zone. DS records live in the
 // parent zone, so a DS query for a hosted apex must be answered by the
-// parent zone when this server hosts both (RFC 4035 §3.1.4.1).
-func (s *Server) zoneForQuery(qname dnswire.Name, qtype dnswire.Type) (*zone.Signed, bool) {
-	sz, ok := s.ZoneFor(qname)
+// parent zone when this server hosts both (RFC 4035 §3.1.4.1). The
+// returned error is errNoZone (nothing hosted → REFUSED) or a lazy
+// signing failure (→ SERVFAIL).
+func (s *Server) zoneForQuery(qname dnswire.Name, qtype dnswire.Type) (*zone.Signed, error) {
+	apex, ok := s.apexFor(qname)
 	if !ok {
-		return nil, false
+		return nil, errNoZone
 	}
-	if qtype == dnswire.TypeDS && qname == sz.Zone.Apex && !qname.IsRoot() {
-		if parent, ok := s.ZoneFor(qname.Parent()); ok {
-			return parent, true
+	if qtype == dnswire.TypeDS && qname == apex && !qname.IsRoot() {
+		if parent, ok := s.apexFor(qname.Parent()); ok && parent != apex {
+			apex = parent
 		}
 	}
-	return sz, true
+	return s.zoneAt(apex)
 }
 
-// Zones returns the hosted zone apexes, sorted canonically.
+// Zones returns the hosted zone apexes — eager and lazy, queried or
+// not — sorted canonically.
 func (s *Server) Zones() []dnswire.Name {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]dnswire.Name, 0, len(s.zones))
+	seen := make(map[dnswire.Name]bool, len(s.zones)+len(s.lazy))
+	out := make([]dnswire.Name, 0, len(s.zones)+len(s.lazy))
 	for apex := range s.zones {
+		seen[apex] = true
 		out = append(out, apex)
+	}
+	for apex := range s.lazy {
+		if !seen[apex] {
+			out = append(out, apex)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return dnswire.CanonicalCompare(out[i], out[j]) < 0 })
 	return out
@@ -131,9 +196,14 @@ func (s *Server) Handle(ctx context.Context, from netip.AddrPort, query *dnswire
 	if s.Log != nil {
 		s.Log.Record(from, q.Name)
 	}
-	sz, ok := s.zoneForQuery(q.Name, q.Type)
-	if !ok {
-		resp.Header.RCode = dnswire.RCodeRefused
+	sz, err := s.zoneForQuery(q.Name, q.Type)
+	if err != nil {
+		if errors.Is(err, errNoZone) {
+			resp.Header.RCode = dnswire.RCodeRefused
+		} else {
+			// Lazy signing failed: the zone exists but cannot be served.
+			resp.Header.RCode = dnswire.RCodeServFail
+		}
 		return resp
 	}
 	if q.Type == dnswire.TypeAXFR {

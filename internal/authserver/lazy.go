@@ -1,0 +1,123 @@
+package authserver
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/obs"
+	"repro/internal/zone"
+)
+
+// SignFunc produces the signed zone for a lazily-registered apex. It
+// runs at most once per apex (on the first query that reaches the
+// zone, or on an explicit Materialize) and must be safe to call from
+// any goroutine; the server serializes it through the zone's
+// singleflight.
+type SignFunc func() (*zone.Signed, error)
+
+// lazyZone is an apex registered without its signed zone: the first
+// query materializes it under done — a singleflight channel so
+// concurrent first queries for the same apex block on one signer while
+// other apexes sign in parallel. sz/err are written before close(done)
+// and only read after <-done, which orders the accesses.
+type lazyZone struct {
+	apex dnswire.Name
+	done chan struct{}
+	sign SignFunc
+	sz   *zone.Signed
+	err  error
+}
+
+// AddLazyZone registers an apex whose signed zone is produced by sign
+// on first demand. Until then the server routes queries for the apex
+// exactly as if the zone were installed, paying the signing cost only
+// when traffic actually arrives — a hierarchy's peak memory stays
+// O(zones touched) instead of O(zones hosted).
+func (s *Server) AddLazyZone(apex dnswire.Name, sign SignFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lazy[apex] = &lazyZone{apex: apex, sign: sign}
+	s.lazyTotal.Add(1)
+}
+
+// Instrument attaches observability: a histogram of nanoseconds
+// queries spend blocked on lazy signing (signer and waiters both
+// observe), and a counter of zones signed lazily. Call it before
+// serving; the fields are read concurrently afterwards. Metrics are
+// registered by name, so every server of a hierarchy shares them.
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mSignWait = reg.Histogram("authserver_sign_wait_ns",
+		"nanoseconds a query spent blocked on lazy zone signing", obs.NanosecondBuckets())
+	s.mLazySigned = reg.Counter("authserver_zones_signed_lazily_total",
+		"zones materialized by their first query instead of at deploy time")
+}
+
+// Materialize forces lazy signing of the hosted zone with the given
+// apex (idempotent; a no-op for eagerly-installed zones). AXFR setup
+// and tests use it to pre-sign a zone without synthesizing a query.
+func (s *Server) Materialize(apex dnswire.Name) (*zone.Signed, error) {
+	s.mu.RLock()
+	sz, ok := s.zones[apex]
+	lz := s.lazy[apex]
+	s.mu.RUnlock()
+	if ok {
+		return sz, nil
+	}
+	if lz == nil {
+		return nil, fmt.Errorf("authserver: no zone %s", apex)
+	}
+	return s.materialize(lz)
+}
+
+// LazyStats reports how many lazily-registered zones have been
+// materialized and how many are still pending (registered but never
+// queried, or failed to sign).
+func (s *Server) LazyStats() (materialized, pending int) {
+	materialized = int(s.lazyMat.Load())
+	return materialized, int(s.lazyTotal.Load()) - materialized
+}
+
+// materialize runs the zone's singleflight: the first caller signs,
+// concurrent callers block until the signer finishes, later callers
+// return the memoized result (including a memoized error — a zone that
+// failed to sign keeps answering ServFail rather than retrying).
+//
+//repro:nondeterministic sign-wait timing is telemetry (authserver_sign_wait_ns), never response content
+func (s *Server) materialize(lz *lazyZone) (*zone.Signed, error) {
+	var start time.Time
+	if s.mSignWait != nil {
+		start = time.Now()
+	}
+	s.mu.Lock()
+	if lz.done == nil {
+		// First query: this goroutine is the signer.
+		lz.done = make(chan struct{})
+		s.mu.Unlock()
+		lz.sz, lz.err = lz.sign()
+		if lz.err == nil {
+			// Promote to the eager map and drop the lazy entry, so
+			// later queries route without rescanning a stale lazy map.
+			// (A failed zone stays registered: its memoized error keeps
+			// answering SERVFAIL.)
+			s.mu.Lock()
+			s.zones[lz.sz.Zone.Apex] = lz.sz
+			delete(s.lazy, lz.apex)
+			s.mu.Unlock()
+			s.lazyMat.Add(1)
+			s.mLazySigned.Inc()
+		}
+		close(lz.done)
+	} else {
+		done := lz.done
+		s.mu.Unlock()
+		<-done
+	}
+	if s.mSignWait != nil {
+		s.mSignWait.Observe(float64(time.Since(start).Nanoseconds()))
+	}
+	return lz.sz, lz.err
+}

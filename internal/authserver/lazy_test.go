@@ -1,0 +1,174 @@
+package authserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dnswire"
+	"repro/internal/nsec3"
+	"repro/internal/obs"
+	"repro/internal/zone"
+)
+
+// signTestZone builds and signs a minimal zone without a *testing.T:
+// sign thunks run on query-handling goroutines, where t.Fatal is
+// off-limits. Errors surface as SERVFAIL and fail the assertions.
+func signTestZone(apex string) (*zone.Signed, error) {
+	apexN := dnswire.MustParseName(apex)
+	z := zone.New(apexN, 300)
+	z.MustAdd(dnswire.RR{Name: apexN, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.SOA{
+		MName: apexN.MustChild("ns"), RName: apexN.MustChild("hostmaster"),
+		Serial: 1, Refresh: 1, Retry: 1, Expire: 1, Minimum: 300,
+	}})
+	z.MustAdd(dnswire.RR{Name: apexN, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.NS{Host: apexN.MustChild("ns")}})
+	z.MustAdd(dnswire.RR{Name: apexN.MustChild("www"), Class: dnswire.ClassIN, TTL: 300,
+		Data: dnswire.A{Addr: netip.MustParseAddr("192.0.2.1")}})
+	return z.Sign(zone.SignConfig{
+		Denial: zone.DenialNSEC3, NSEC3: nsec3.Params{Iterations: 3},
+		Inception: tInception, Expiration: tExpiration,
+	})
+}
+
+// lazySignFunc wraps signTestZone in a SignFunc that counts invocations.
+func lazySignFunc(apex string, calls *atomic.Int64) SignFunc {
+	return func() (*zone.Signed, error) {
+		calls.Add(1)
+		return signTestZone(apex)
+	}
+}
+
+func TestLazyZoneSignsOnFirstQuery(t *testing.T) {
+	s := New()
+	var calls atomic.Int64
+	s.AddLazyZone(dnswire.MustParseName("example.com"), lazySignFunc("example.com", &calls))
+	if m, p := s.LazyStats(); m != 0 || p != 1 {
+		t.Fatalf("before query: materialized=%d pending=%d, want 0/1", m, p)
+	}
+	for i := 0; i < 3; i++ {
+		resp := query(t, s, "www.example.com", dnswire.TypeA, true)
+		if resp.Header.RCode != dnswire.RCodeNoError {
+			t.Fatalf("query %d: rcode %s", i, resp.Header.RCode)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("sign func ran %d times, want 1", got)
+	}
+	if m, p := s.LazyStats(); m != 1 || p != 0 {
+		t.Fatalf("after query: materialized=%d pending=%d, want 1/0", m, p)
+	}
+}
+
+// TestLazyZoneConcurrentFirstQueries hammers the singleflight under
+// -race: many goroutines race the first query against one lazy zone
+// and across distinct lazy zones. Every signer must run exactly once,
+// every response must be complete.
+func TestLazyZoneConcurrentFirstQueries(t *testing.T) {
+	const zones, perZone = 8, 16
+	s := New()
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+	calls := make([]atomic.Int64, zones)
+	for i := 0; i < zones; i++ {
+		apex := fmt.Sprintf("zone-%d.example", i)
+		s.AddLazyZone(dnswire.MustParseName(apex), lazySignFunc(apex, &calls[i]))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, zones*perZone)
+	for i := 0; i < zones; i++ {
+		for j := 0; j < perZone; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				// Not query(t, ...): t.Fatal is off-limits outside the
+				// test goroutine, so report through the channel instead.
+				q := dnswire.NewQuery(1, dnswire.MustParseName(fmt.Sprintf("www.zone-%d.example", i)), dnswire.TypeA, true)
+				resp := s.Handle(context.Background(), netip.MustParseAddrPort("10.0.0.1:5353"), q)
+				if resp == nil {
+					errs <- fmt.Sprintf("zone %d query %d: nil response", i, j)
+					return
+				}
+				if resp.Header.RCode != dnswire.RCodeNoError {
+					errs <- fmt.Sprintf("zone %d query %d: rcode %s", i, j, resp.Header.RCode)
+				}
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	for i := range calls {
+		if got := calls[i].Load(); got != 1 {
+			t.Errorf("zone %d signed %d times, want exactly 1", i, got)
+		}
+	}
+	if m, p := s.LazyStats(); m != zones || p != 0 {
+		t.Errorf("materialized=%d pending=%d, want %d/0", m, p, zones)
+	}
+	if got := reg.Counter("authserver_zones_signed_lazily_total", "").Value(); got != zones {
+		t.Errorf("authserver_zones_signed_lazily_total = %d, want %d", got, zones)
+	}
+	// Every signer observes the histogram; waiters do too, but queries
+	// arriving after AddZone take the fast path and skip it — so the
+	// floor is one observation per zone, not one per query.
+	if got := reg.Histogram("authserver_sign_wait_ns", "", obs.NanosecondBuckets()).Count(); got < zones {
+		t.Errorf("authserver_sign_wait_ns observed %d waits, want >= %d", got, zones)
+	}
+}
+
+// TestLazyZoneSignFailure: a zone whose signing fails keeps answering
+// SERVFAIL from the memoized error — the signer is never retried, and
+// queries for other names still get REFUSED.
+func TestLazyZoneSignFailure(t *testing.T) {
+	s := New()
+	var calls atomic.Int64
+	s.AddLazyZone(dnswire.MustParseName("broken.example"), func() (*zone.Signed, error) {
+		calls.Add(1)
+		return nil, errors.New("keys unavailable")
+	})
+	for i := 0; i < 2; i++ {
+		resp := query(t, s, "www.broken.example", dnswire.TypeA, true)
+		if resp.Header.RCode != dnswire.RCodeServFail {
+			t.Fatalf("query %d: rcode %s, want SERVFAIL", i, resp.Header.RCode)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("failing sign func ran %d times, want 1", got)
+	}
+	if resp := query(t, s, "elsewhere.test", dnswire.TypeA, false); resp.Header.RCode != dnswire.RCodeRefused {
+		t.Fatalf("unhosted name: rcode %s, want REFUSED", resp.Header.RCode)
+	}
+}
+
+// TestMaterializeForcesSigning: Materialize signs without a query (the
+// AXFR setup path) and is idempotent; unknown apexes error.
+func TestMaterializeForcesSigning(t *testing.T) {
+	s := New()
+	var calls atomic.Int64
+	apex := dnswire.MustParseName("forced.example")
+	s.AddLazyZone(apex, lazySignFunc("forced.example", &calls))
+	sz, err := s.Materialize(apex)
+	if err != nil || sz == nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if _, err := s.Materialize(apex); err != nil {
+		t.Fatalf("second Materialize: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("sign func ran %d times, want 1", got)
+	}
+	// Eagerly-installed zones materialize as a no-op lookup.
+	s.AddZone(buildZone(t, "eager.example", zone.DenialNSEC))
+	if _, err := s.Materialize(dnswire.MustParseName("eager.example")); err != nil {
+		t.Fatalf("eager Materialize: %v", err)
+	}
+	if _, err := s.Materialize(dnswire.MustParseName("nope.example")); err == nil {
+		t.Fatal("Materialize of unhosted apex should error")
+	}
+}

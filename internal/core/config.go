@@ -1,0 +1,78 @@
+package core
+
+import "fmt"
+
+// SigningMode selects when a survey shard's zones are signed.
+type SigningMode int
+
+const (
+	// SigningDefault resolves to SigningLazy: sharded runs want the
+	// O(zones touched) memory envelope.
+	SigningDefault SigningMode = iota
+	// SigningLazy signs each deployed zone on the first query that
+	// reaches it (per-zone singleflight in the authoritative server).
+	// The report is byte-identical to an eager run — signing is
+	// deterministic per zone, not per order of arrival.
+	SigningLazy
+	// SigningEager signs every zone at deploy time — the authd/AXFR
+	// serving shape, and the reference behavior the eager-vs-lazy
+	// golden test compares against.
+	SigningEager
+)
+
+// ConfigError is the typed rejection Validate returns for a
+// nonsensical SurveyConfig field.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: invalid SurveyConfig.%s: %s", e.Field, e.Reason)
+}
+
+// Validate rejects nonsensical configurations with a *ConfigError.
+// The zero config is valid (withDefaults fills it in); what Validate
+// refuses are fields that no defaulting can repair.
+func (c SurveyConfig) Validate() error {
+	if c.Registered < 0 {
+		return &ConfigError{Field: "Registered", Reason: fmt.Sprintf("negative domain count %d", c.Registered)}
+	}
+	if c.Shards < 0 {
+		return &ConfigError{Field: "Shards", Reason: fmt.Sprintf("negative shard count %d", c.Shards)}
+	}
+	if c.Registered == 0 && c.Shards != 0 {
+		return &ConfigError{Field: "Shards", Reason: fmt.Sprintf(
+			"%d shards over zero registered domains — a config that asks for explicit sharding must also size the universe", c.Shards)}
+	}
+	if c.Workers < 0 {
+		return &ConfigError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d", c.Workers)}
+	}
+	if c.QPS < 0 {
+		return &ConfigError{Field: "QPS", Reason: fmt.Sprintf("negative rate limit %d", c.QPS)}
+	}
+	if c.Signing < SigningDefault || c.Signing > SigningEager {
+		return &ConfigError{Field: "Signing", Reason: fmt.Sprintf("unknown signing mode %d", int(c.Signing))}
+	}
+	return nil
+}
+
+// withDefaults returns a copy of c with zero fields resolved to their
+// defaults. RunSurvey works on the copy — the caller's config is never
+// mutated.
+func (c SurveyConfig) withDefaults() SurveyConfig {
+	out := c
+	if out.Registered == 0 {
+		out.Registered = 30200
+	}
+	if out.Workers == 0 {
+		out.Workers = 64
+	}
+	if out.Shards == 0 {
+		out.Shards = 1
+	}
+	if out.Signing == SigningDefault {
+		out.Signing = SigningLazy
+	}
+	return out
+}

@@ -59,6 +59,11 @@ type SurveyConfig struct {
 	// — every domain is generated from its own index-derived stream
 	// (default 1).
 	Shards int
+	// Signing selects when a shard's zones are signed: lazily on first
+	// query (the default — deployment registers sign thunks and the
+	// scanner's traffic materializes only what it touches) or eagerly
+	// at deploy time. The report is identical either way.
+	Signing SigningMode
 	// Obs, when set, receives pipeline metrics: survey progress
 	// counters plus the scanner's, resolver's, and network's own
 	// instrumentation. The registry never feeds back into the report,
@@ -130,15 +135,10 @@ func (s *surveySink) Consume(r scanner.Result) {
 // network, scanned, and merged into the report before the next shard
 // is touched.
 func RunSurvey(ctx context.Context, cfg SurveyConfig) (*SurveyReport, error) {
-	if cfg.Registered == 0 {
-		cfg.Registered = 30200
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Workers == 0 {
-		cfg.Workers = 64
-	}
-	if cfg.Shards <= 0 {
-		cfg.Shards = 1
-	}
+	cfg = cfg.withDefaults()
 	cur, err := population.NewShardCursor(population.Config{
 		Registered: cfg.Registered,
 		Seed:       cfg.Seed,
@@ -164,8 +164,10 @@ func RunSurvey(ctx context.Context, cfg SurveyConfig) (*SurveyReport, error) {
 		cache:     testbed.NewSignCache(),
 		mScanned:  cfg.Obs.Counter("survey_domains_scanned_total", "registered domains scanned successfully"),
 		mIterWork: cfg.Obs.Counter("survey_nsec3_iteration_work_total", "cumulative 1+iterations over scanned NSEC3 zones (Gruza et al. verification cost)"),
-		mSigned:   cfg.Obs.Counter("survey_zones_signed_total", "shared infrastructure zones signed fresh during deployment"),
-		mReused:   cfg.Obs.Counter("survey_zones_reused_total", "shared infrastructure zones served from the sign cache"),
+		mSigned:   cfg.Obs.Counter("survey_zones_signed_total", "zones signed fresh (deploy-time or lazily on first query)"),
+		mReused:   cfg.Obs.Counter("survey_zones_reused_total", "zones served from the sign cache"),
+		mLazy:     cfg.Obs.Counter("survey_zones_signed_lazily_total", "zones materialized by their first query instead of at deploy time"),
+		mUntouch:  cfg.Obs.Counter("survey_zones_untouched_total", "deployed zones never queried during their shard — work lazy signing skipped entirely"),
 		mRate:     cfg.Obs.Gauge("survey_domains_per_second", "cumulative registered-domain scan throughput"),
 	}
 	for index := 0; ; index++ {
@@ -206,6 +208,8 @@ type surveyRun struct {
 	mIterWork *obs.Counter
 	mSigned   *obs.Counter
 	mReused   *obs.Counter
+	mLazy     *obs.Counter
+	mUntouch  *obs.Counter
 	mRate     *obs.Gauge
 
 	scannedDomains int
@@ -222,14 +226,16 @@ func (run *surveyRun) scanShard(ctx context.Context, shard *population.Shard, re
 	cfg := run.cfg
 	u := shard.Universe
 	deploySpan := cfg.Trace.Start("deploy", shard.Index)
-	dep, err := population.DeployWith(u, netsim.NewNetwork(cfg.Seed+uint64(shard.Index)), DefaultInception, DefaultExpiration,
-		population.DeployOptions{SignCache: run.cache})
+	opts := []population.DeployOption{population.WithSignCache(run.cache)}
+	if cfg.Signing != SigningEager {
+		opts = append(opts, population.WithLazySigning())
+	}
+	dep, err := population.Deploy(u, netsim.NewNetwork(cfg.Seed+uint64(shard.Index)), DefaultInception, DefaultExpiration, opts...)
 	if err != nil {
 		return err
 	}
-	run.mSigned.Add(uint64(dep.Hierarchy.ZonesSigned))
-	run.mReused.Add(uint64(dep.Hierarchy.ZonesReused))
 	dep.Hierarchy.Net.Instrument(cfg.Obs)
+	dep.Hierarchy.Instrument(cfg.Obs)
 	resolverAddr, err := installScanResolver(dep.Hierarchy, cfg.Obs)
 	if err != nil {
 		return err
@@ -285,9 +291,21 @@ func (run *surveyRun) scanShard(ctx context.Context, shard *population.Shard, re
 			continue
 		}
 		counted := false
-		if t.OpenZoneData {
+		// A shard-local zone delegates exactly the shard's domains, so
+		// for a TLD with none of them the transfer is vacuous: it
+		// counts zero delegations and would only force-sign a zone
+		// nothing else touches. Shard 0 still transfers every open
+		// zone, keeping the transferred set — and the report — exactly
+		// what a single-shard run produces.
+		if t.OpenZoneData && (shard.Index == 0 || listCounts[t.Name] > 0) {
 			apex, err := dnswire.FromLabels(t.Name)
 			if err != nil {
+				return err
+			}
+			// The AXFR path force-signs its zone explicitly: under lazy
+			// signing a transfer must serve the complete signed zone, so
+			// materialize it rather than relying on the query to do it.
+			if _, err := dep.Hierarchy.Materialize(apex); err != nil {
 				return err
 			}
 			rrs, err := scanner.Transfer(ctx, dep.Hierarchy.Net, dep.TLDServers[t.Name], apex)
@@ -301,6 +319,18 @@ func (run *surveyRun) scanShard(ctx context.Context, shard *population.Shard, re
 			report.DomainsUnderIDTLDs += listCounts[t.Name]
 		}
 	}
+
+	// Signing-work accounting happens once the shard's traffic has
+	// drained: lazy thunks run from query-handling goroutines, so the
+	// totals are only final here. SignStats folds eager build-time and
+	// lazy post-build work together, keeping the signed/reused counters
+	// comparable across signing modes.
+	signed, reused := dep.Hierarchy.SignStats()
+	run.mSigned.Add(uint64(signed))
+	run.mReused.Add(uint64(reused))
+	materialized, untouched := dep.Hierarchy.LazyStats()
+	run.mLazy.Add(uint64(materialized))
+	run.mUntouch.Add(uint64(untouched))
 
 	// The tracer owns the wall clock: throughput is derived from span
 	// durations rather than read directly, keeping core deterministic.

@@ -126,3 +126,26 @@ func labeledBreakOut() {
 		}
 	}()
 }
+
+// flight models the lazy-signing singleflight (authserver): waiters
+// block receiving from a channel the signer unconditionally closes.
+type flight struct{ done chan struct{} }
+
+// singleflightWaiters is a near miss: unlike a bare send, a bare
+// receive on a singleflight channel completes — close(done) wakes
+// every waiter at once, so the goroutines terminate.
+func singleflightWaiters(fl *flight) {
+	for i := 0; i < 4; i++ {
+		go func() {
+			<-fl.done
+			work()
+		}()
+	}
+}
+
+// signer closes the flight after doing the work; waiters spawned by
+// singleflightWaiters unblock here.
+func signer(fl *flight) {
+	work()
+	close(fl.done)
+}

@@ -125,3 +125,45 @@ func (t *Table) DoubleRead(k string) int {
 	defer t.rw.RUnlock()
 	return t.get(k)
 }
+
+// Flight is the lazy-signing singleflight shape (authserver
+// materialize): the mutex guards only the done-channel handoff; the
+// expensive work and the sibling install call run unlocked.
+type Flight struct {
+	mu   sync.Mutex
+	done chan struct{}
+	val  int
+}
+
+func (f *Flight) install(v int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.val = v
+}
+
+// Materialize is a near miss on both rules: the explicit Unlock runs
+// before the sibling install call and before every return, in both the
+// signer and the waiter arm.
+func (f *Flight) Materialize() int {
+	f.mu.Lock()
+	if f.done == nil {
+		f.done = make(chan struct{})
+		f.mu.Unlock()
+		f.install(42)
+		close(f.done)
+		return f.val
+	}
+	done := f.done
+	f.mu.Unlock()
+	<-done
+	return f.val
+}
+
+// MaterializeHeld is the bug the shape above avoids: the sibling
+// install call runs while the flight lock is held.
+func (f *Flight) MaterializeHeld() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.install(42) // want `calling install while holding f\.mu self-deadlocks`
+	return f.val
+}

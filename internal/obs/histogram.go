@@ -36,6 +36,13 @@ func DurationBuckets() []float64 {
 	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5}
 }
 
+// NanosecondBuckets is the bucket set for nanosecond-valued waits —
+// the lazy sign-wait histogram: from a microsecond (fast-path promote
+// races) up past a second (a large zone signing under contention).
+func NanosecondBuckets() []float64 {
+	return []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 5e9}
+}
+
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	for i := 1; i < len(b); i++ {

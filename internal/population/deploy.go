@@ -21,6 +21,41 @@ type Deployment struct {
 	TLDServers map[string]netip.AddrPort
 }
 
+// DeployOption tunes a deployment.
+type DeployOption func(*deployOptions)
+
+type deployOptions struct {
+	cache    *testbed.SignCache
+	lazy     bool
+	transfer func(TLDSpec) zone.TransferPolicy
+}
+
+// WithSignCache reuses signing keys and signed zones for the
+// shard-independent infrastructure (root, TLD registry, operator
+// zones) across repeated deployments — the sharded survey's loop.
+// Domain zones are never cached.
+func WithSignCache(c *testbed.SignCache) DeployOption {
+	return func(o *deployOptions) { o.cache = c }
+}
+
+// WithLazySigning defers all non-root zone signing to first query
+// (testbed.WithLazySigning): each zone is registered on its server as
+// a spec plus a sign thunk, so a deployment's peak memory is O(zones
+// the scanner actually touches) instead of O(universe). Transfer-open
+// TLD zones stay lazy too — an AXFR request materializes its zone on
+// demand, and callers that want a zone pre-signed (the authd serving
+// path) force it with Hierarchy.Materialize.
+func WithLazySigning() DeployOption {
+	return func(o *deployOptions) { o.lazy = true }
+}
+
+// WithTransferPolicy overrides the per-TLD AXFR policy. The default
+// mirrors the paper's methodology: zones whose registry publishes zone
+// data (CZDS/AXFR) are TransferOpen, everything else refuses.
+func WithTransferPolicy(pol func(TLDSpec) zone.TransferPolicy) DeployOption {
+	return func(o *deployOptions) { o.transfer = pol }
+}
+
 // Deploy materializes the universe into real zones on a simulated
 // network: the root, every TLD (all 1,449), one zone per registered
 // domain hosted on its operator's shared name server, and one
@@ -30,23 +65,24 @@ type Deployment struct {
 //
 // Every domain zone gets: apex A, "www" A, and an MX — enough surface
 // that a random-subdomain probe triggers a genuine negative response.
-func Deploy(u *Universe, net *netsim.Network, inception, expiration uint32) (*Deployment, error) {
-	return DeployWith(u, net, inception, expiration, DeployOptions{})
-}
-
-// DeployOptions tunes a deployment.
-type DeployOptions struct {
-	// SignCache, when set, reuses signing keys and signed zones for
-	// the shard-independent infrastructure (root, TLD registry,
-	// operator zones) across repeated deployments — the sharded
-	// survey's loop. Domain zones are never cached.
-	SignCache *testbed.SignCache
-}
-
-// DeployWith is Deploy with explicit options.
-func DeployWith(u *Universe, net *netsim.Network, inception, expiration uint32, opts DeployOptions) (*Deployment, error) {
-	b := testbed.NewBuilder(inception, expiration)
-	b.Cache = opts.SignCache
+func Deploy(u *Universe, net *netsim.Network, inception, expiration uint32, opts ...DeployOption) (*Deployment, error) {
+	var o deployOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.transfer == nil {
+		o.transfer = func(t TLDSpec) zone.TransferPolicy {
+			if t.OpenZoneData {
+				return zone.TransferOpen
+			}
+			return zone.TransferRefused
+		}
+	}
+	bopts := []testbed.BuilderOption{testbed.WithCache(o.cache)}
+	if o.lazy {
+		bopts = append(bopts, testbed.WithLazySigning())
+	}
+	b := testbed.NewBuilder(inception, expiration, bopts...)
 	b.AddZone(testbed.ZoneSpec{
 		Apex:   dnswire.Root,
 		Sign:   zone.SignConfig{Denial: zone.DenialNSEC},
@@ -160,10 +196,12 @@ func DeployWith(u *Universe, net *netsim.Network, inception, expiration uint32, 
 	if err != nil {
 		return nil, fmt.Errorf("population: deploying universe: %w", err)
 	}
-	// Open AXFR on the TLDs that publish their zone data (CZDS/AXFR in
-	// the paper's methodology); everything else refuses transfers.
+	// Apply the AXFR policy (default: open on the TLDs that publish
+	// their zone data — CZDS/AXFR in the paper's methodology;
+	// everything else refuses transfers).
 	for _, tld := range u.TLDs {
-		if !tld.OpenZoneData {
+		pol := o.transfer(tld)
+		if pol != zone.TransferOpen {
 			continue
 		}
 		addr := tldAddrs[tld.Name]
@@ -172,7 +210,7 @@ func DeployWith(u *Universe, net *netsim.Network, inception, expiration uint32, 
 			if err != nil {
 				return nil, err
 			}
-			srv.SetTransferPolicy(apex, zone.TransferOpen)
+			srv.SetTransferPolicy(apex, pol)
 		}
 	}
 	return &Deployment{Universe: u, Hierarchy: h, OperatorServers: opServers, TLDServers: tldAddrs}, nil

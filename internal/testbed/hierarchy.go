@@ -11,10 +11,13 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/authserver"
+	"repro/internal/dnssec"
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/zone"
 )
 
@@ -53,16 +56,76 @@ type Hierarchy struct {
 	Net         *netsim.Network
 	Roots       []netip.AddrPort
 	TrustAnchor []dnswire.DS
-	// Zones maps apex to its signed zone (nil for unsigned zones).
+	// Zones maps apex to its signed zone for zones signed eagerly at
+	// build time. Lazily-registered zones appear here never — query
+	// them through the network or force them with Materialize.
 	Zones map[dnswire.Name]*zone.Signed
 	// Servers maps listen address to the server instance.
 	Servers map[netip.AddrPort]*authserver.Server
 	// Log records queries on every server (shared).
 	Log *authserver.QueryLog
-	// ZonesSigned and ZonesReused count signing work: zones signed
-	// fresh during this build versus served from the builder's
-	// SignCache.
+	// ZonesSigned and ZonesReused count build-time signing work: zones
+	// signed fresh during this build versus served from the builder's
+	// SignCache. Lazy signing is counted separately (SignStats folds
+	// both together).
 	ZonesSigned, ZonesReused int
+
+	// hosts maps every apex to its serving server, so Materialize can
+	// reach a zone without knowing the topology.
+	hosts map[dnswire.Name]*authserver.Server
+	// lazySigned/lazyReused count post-build signing work done by lazy
+	// thunks: fresh signs versus sign-cache hits. Atomic — thunks run
+	// on query-handling goroutines.
+	lazySigned, lazyReused atomic.Int64
+}
+
+// Materialize forces signing of the zone with the given apex —
+// idempotent, and a cheap lookup for zones signed eagerly. AXFR setup
+// and tests use it to force-sign a lazy zone without synthesizing a
+// query. The materialized zone is NOT added to h.Zones (which is a
+// plain map, read concurrently); it is installed on the serving
+// server.
+func (h *Hierarchy) Materialize(apex dnswire.Name) (*zone.Signed, error) {
+	if sz, ok := h.Zones[apex]; ok {
+		return sz, nil
+	}
+	srv, ok := h.hosts[apex]
+	if !ok {
+		return nil, fmt.Errorf("testbed: no zone %s in hierarchy", apex)
+	}
+	return srv.Materialize(apex)
+}
+
+// SignStats reports total signing work — eager build-time and lazy
+// post-build combined — as fresh signs versus sign-cache hits.
+func (h *Hierarchy) SignStats() (signed, reused int) {
+	return h.ZonesSigned + int(h.lazySigned.Load()),
+		h.ZonesReused + int(h.lazyReused.Load())
+}
+
+// LazyStats reports how many lazily-registered zones were materialized
+// by queries (or Materialize) and how many were never touched — the
+// zones whose raw-zone construction and signing this hierarchy never
+// paid for.
+func (h *Hierarchy) LazyStats() (materialized, untouched int) {
+	for _, srv := range h.Servers {
+		m, p := srv.LazyStats()
+		materialized += m
+		untouched += p
+	}
+	return materialized, untouched
+}
+
+// Instrument attaches an obs registry to every server in the
+// hierarchy (lazy sign-wait histogram + lazily-signed counter). Call
+// before serving queries.
+func (h *Hierarchy) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, srv := range h.Servers {
+		srv.Instrument(reg)
+	}
 }
 
 // Builder accumulates zone specs and wires them together.
@@ -72,19 +135,42 @@ type Builder struct {
 	Inception, Expiration uint32
 	// TTL is the default record TTL.
 	TTL uint32
-	// Cache, when set, reuses keys and signed zones for specs marked
-	// Shared across repeated builds (the sharded survey's deployment
-	// loop).
-	Cache *SignCache
+
+	cache *SignCache
+	lazy  bool
+}
+
+// BuilderOption configures a Builder at construction.
+type BuilderOption func(*Builder)
+
+// WithCache reuses keys and signed zones for specs marked Shared
+// across repeated builds (the sharded survey's deployment loop).
+func WithCache(c *SignCache) BuilderOption {
+	return func(b *Builder) { b.cache = c }
+}
+
+// WithLazySigning defers non-root zone signing to first query: Build
+// registers each zone as a spec plus a sign thunk on its server, and
+// the first query to reach the zone materializes it under a per-zone
+// singleflight. Keys are still resolved (and DS records published) at
+// build time — a delegation's DS depends only on the child's KSK — so
+// the hierarchy validates identically to an eager build. Peak memory
+// becomes O(zones touched) instead of O(zones hosted).
+func WithLazySigning() BuilderOption {
+	return func(b *Builder) { b.lazy = true }
 }
 
 // NewBuilder creates a builder with the given default signing window.
-func NewBuilder(inception, expiration uint32) *Builder {
-	return &Builder{
+func NewBuilder(inception, expiration uint32, opts ...BuilderOption) *Builder {
+	b := &Builder{
 		specs:     make(map[dnswire.Name]*ZoneSpec),
 		Inception: inception, Expiration: expiration,
 		TTL: 300,
 	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
 }
 
 // AddZone registers a zone spec. The root zone (".") must be included.
@@ -119,9 +205,73 @@ func (b *Builder) parentOf(apex dnswire.Name) (*ZoneSpec, bool) {
 	}
 }
 
+// rawZone materializes a spec's unsigned zone: SOA, apex NS,
+// in-bailiwick glue, then the spec's own data records.
+func (b *Builder) rawZone(spec *ZoneSpec) *zone.Zone {
+	z := zone.New(spec.Apex, b.TTL)
+	ns := spec.nsHost()
+	z.MustAdd(dnswire.RR{Name: spec.Apex, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.SOA{
+		MName: ns, RName: spec.Apex.MustChild("hostmaster"),
+		Serial: 2024030501, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300,
+	}})
+	z.MustAdd(dnswire.RR{Name: spec.Apex, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.NS{Host: ns}})
+	if ns.IsSubdomainOf(spec.Apex) {
+		z.MustAdd(dnswire.RR{Name: ns, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.A{Addr: spec.Server.Addr()}})
+		if spec.ServerV6.IsValid() {
+			z.MustAdd(dnswire.RR{Name: ns, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.AAAA{Addr: spec.ServerV6.Addr()}})
+		}
+	}
+	if spec.Populate != nil {
+		spec.Populate(z)
+	}
+	return z
+}
+
+// signConfig resolves a spec's signing config against the builder's
+// default validity window.
+func (b *Builder) signConfig(spec *ZoneSpec) zone.SignConfig {
+	cfg := spec.Sign
+	if cfg.Inception == 0 {
+		cfg.Inception, cfg.Expiration = b.Inception, b.Expiration
+	}
+	return cfg
+}
+
+// delegationRRs builds the records the parent publishes for a child:
+// NS, in-bailiwick glue, and (for signed children) the DS.
+func delegationRRs(spec *ZoneSpec, ds *dnswire.DS) []dnswire.RR {
+	ns := spec.nsHost()
+	rrs := []dnswire.RR{{Name: spec.Apex, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.NS{Host: ns}}}
+	if ns.IsSubdomainOf(spec.Apex) {
+		// In-bailiwick host: publish glue in the parent.
+		rrs = append(rrs, dnswire.RR{Name: ns, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.A{Addr: spec.Server.Addr()}})
+		if spec.ServerV6.IsValid() {
+			rrs = append(rrs, dnswire.RR{Name: ns, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.AAAA{Addr: spec.ServerV6.Addr()}})
+		}
+	}
+	if ds != nil {
+		rrs = append(rrs, dnswire.RR{Name: spec.Apex, Class: dnswire.ClassIN, TTL: 3600, Data: *ds})
+	}
+	return rrs
+}
+
+// lazyRec is a zone registered for on-demand signing: its keys are
+// already resolved (the DS in the parent came from them), its raw zone
+// and signatures don't exist until the thunk runs.
+type lazyRec struct {
+	spec *ZoneSpec
+	cfg  zone.SignConfig
+	// delegations are the child NS/glue/DS sets installed by
+	// deeper zones during the build, applied when the raw zone is
+	// finally constructed.
+	delegations []dnswire.RR
+}
+
 // Build signs every zone bottom-up, inserts delegations (NS + glue +
 // DS) into parents, registers authoritative servers on net, and returns
-// the hierarchy with the root trust anchor.
+// the hierarchy with the root trust anchor. With WithLazySigning, only
+// the root is signed here; every other zone is registered as a thunk
+// its server runs on first query.
 func (b *Builder) Build(net *netsim.Network) (*Hierarchy, error) {
 	rootSpec, ok := b.specs[dnswire.Root]
 	if !ok {
@@ -145,44 +295,65 @@ func (b *Builder) Build(net *netsim.Network) (*Hierarchy, error) {
 		Zones:   make(map[dnswire.Name]*zone.Signed),
 		Servers: make(map[netip.AddrPort]*authserver.Server),
 		Log:     authserver.NewQueryLog(1 << 16),
+		hosts:   make(map[dnswire.Name]*authserver.Server, len(b.specs)),
 	}
 	raw := make(map[dnswire.Name]*zone.Zone)
+	lazyRecs := make(map[dnswire.Name]*lazyRec)
+	// The root stays eager even under WithLazySigning: the trust
+	// anchor must exist before the first query.
+	isLazy := func(spec *ZoneSpec) bool { return b.lazy && !spec.Apex.IsRoot() }
 
-	// First pass: materialize raw zones with SOA, apex NS, glue, data.
+	// First pass: materialize raw zones for eager specs; register a
+	// lazy record for the rest (their raw zones are built on demand).
 	for _, spec := range order {
-		z := zone.New(spec.Apex, b.TTL)
-		ns := spec.nsHost()
-		z.MustAdd(dnswire.RR{Name: spec.Apex, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.SOA{
-			MName: ns, RName: spec.Apex.MustChild("hostmaster"),
-			Serial: 2024030501, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 300,
-		}})
-		z.MustAdd(dnswire.RR{Name: spec.Apex, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.NS{Host: ns}})
-		if ns.IsSubdomainOf(spec.Apex) {
-			z.MustAdd(dnswire.RR{Name: ns, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.A{Addr: spec.Server.Addr()}})
-			if spec.ServerV6.IsValid() {
-				z.MustAdd(dnswire.RR{Name: ns, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.AAAA{Addr: spec.ServerV6.Addr()}})
-			}
+		if isLazy(spec) {
+			lazyRecs[spec.Apex] = &lazyRec{spec: spec}
+			continue
 		}
-		if spec.Populate != nil {
-			spec.Populate(z)
-		}
-		raw[spec.Apex] = z
+		raw[spec.Apex] = b.rawZone(spec)
 	}
 
-	// Second pass (deepest first): sign, then install delegation + DS
-	// into the parent's raw zone.
+	// Second pass (deepest first): sign — or, for lazy zones, resolve
+	// keys and compute the DS without signing — then install the
+	// delegation + DS into the parent's raw zone or pending list.
 	for _, spec := range order {
-		z := raw[spec.Apex]
-		var signed *zone.Signed
-		if !spec.Unsigned {
-			cfg := spec.Sign
-			if cfg.Inception == 0 {
-				cfg.Inception, cfg.Expiration = b.Inception, b.Expiration
+		var ds *dnswire.DS
+		if rec, ok := lazyRecs[spec.Apex]; ok {
+			cfg := b.signConfig(spec)
+			if !spec.Unsigned {
+				// Keys now, signatures later: the delegation DS depends
+				// only on the child's KSK (RFC 4034 §5), so the chain of
+				// trust is complete before the zone ever signs.
+				var err error
+				if b.cache != nil && spec.Shared {
+					var keys cachedKeys
+					if keys, err = b.cache.keysFor(spec.Apex, signAlg(cfg), cfg.Rand); err != nil {
+						return nil, fmt.Errorf("testbed: keys for %s: %w", spec.Apex, err)
+					}
+					cfg.KSK, cfg.ZSK = keys.ksk, keys.zsk
+				} else {
+					if cfg.KSK, err = dnssec.GenerateKey(signAlg(cfg), true, cfg.Rand); err != nil {
+						return nil, fmt.Errorf("testbed: keys for %s: %w", spec.Apex, err)
+					}
+					if cfg.ZSK, err = dnssec.GenerateKey(signAlg(cfg), false, cfg.Rand); err != nil {
+						return nil, fmt.Errorf("testbed: keys for %s: %w", spec.Apex, err)
+					}
+				}
+				d, err := dnssec.NewDS(spec.Apex, cfg.KSK.DNSKEY(), dnswire.DigestSHA256)
+				if err != nil {
+					return nil, fmt.Errorf("testbed: DS for %s: %w", spec.Apex, err)
+				}
+				ds = &d
 			}
+			rec.cfg = cfg
+		} else if !spec.Unsigned {
+			z := raw[spec.Apex]
+			cfg := b.signConfig(spec)
+			var signed *zone.Signed
 			var err error
-			if b.Cache != nil && spec.Shared {
+			if b.cache != nil && spec.Shared {
 				var hit bool
-				signed, hit, err = b.Cache.sign(z, cfg)
+				signed, hit, err = b.cache.sign(z, cfg)
 				if hit {
 					h.ZonesReused++
 				} else if err == nil {
@@ -196,29 +367,27 @@ func (b *Builder) Build(net *netsim.Network) (*Hierarchy, error) {
 				return nil, fmt.Errorf("testbed: signing %s: %w", spec.Apex, err)
 			}
 			h.Zones[spec.Apex] = signed
+			d, err := signed.DSForChild()
+			if err != nil {
+				return nil, err
+			}
+			ds = &d
 		}
 		if parent, ok := b.parentOf(spec.Apex); ok {
-			pz := raw[parent.Apex]
-			ns := spec.nsHost()
-			pz.MustAdd(dnswire.RR{Name: spec.Apex, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.NS{Host: ns}})
-			if ns.IsSubdomainOf(spec.Apex) {
-				// In-bailiwick host: publish glue in the parent.
-				pz.MustAdd(dnswire.RR{Name: ns, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.A{Addr: spec.Server.Addr()}})
-				if spec.ServerV6.IsValid() {
-					pz.MustAdd(dnswire.RR{Name: ns, Class: dnswire.ClassIN, TTL: 3600, Data: dnswire.AAAA{Addr: spec.ServerV6.Addr()}})
+			rrs := delegationRRs(spec, ds)
+			if prec, ok := lazyRecs[parent.Apex]; ok {
+				prec.delegations = append(prec.delegations, rrs...)
+			} else {
+				pz := raw[parent.Apex]
+				for _, rr := range rrs {
+					pz.MustAdd(rr)
 				}
-			}
-			if signed != nil {
-				ds, err := signed.DSForChild()
-				if err != nil {
-					return nil, err
-				}
-				pz.MustAdd(dnswire.RR{Name: spec.Apex, Class: dnswire.ClassIN, TTL: 3600, Data: ds})
 			}
 		}
 	}
 
-	// Third pass: attach zones to servers and register on the network.
+	// Third pass: attach zones (or thunks) to servers and register on
+	// the network.
 	for _, spec := range order {
 		srv, ok := h.Servers[spec.Server]
 		if !ok {
@@ -232,7 +401,13 @@ func (b *Builder) Build(net *netsim.Network) (*Hierarchy, error) {
 		} else if spec.ServerV6.IsValid() {
 			net.Register(spec.ServerV6, srv)
 		}
-		if signed, ok := h.Zones[spec.Apex]; ok {
+		h.hosts[spec.Apex] = srv
+		if rec, ok := lazyRecs[spec.Apex]; ok {
+			rec := rec
+			srv.AddLazyZone(spec.Apex, func() (*zone.Signed, error) {
+				return b.materializeLazy(h, rec)
+			})
+		} else if signed, ok := h.Zones[spec.Apex]; ok {
 			srv.AddZone(signed)
 		} else {
 			// Serve the unsigned zone without any DNSSEC material:
@@ -259,4 +434,43 @@ func (b *Builder) Build(net *netsim.Network) (*Hierarchy, error) {
 		h.Roots = append(h.Roots, rootSpec.ServerV6)
 	}
 	return h, nil
+}
+
+// materializeLazy is a lazy zone's sign thunk: build the raw zone now
+// (including the delegations deeper zones installed during Build),
+// then sign it with the keys resolved at build time — through the
+// SignCache for Shared specs, so identical content across shards still
+// signs once. Signing determinism is per zone, not per order of
+// arrival: the keys and records were fixed at build time, so a lazy
+// hierarchy serves byte-identical zones to an eager one.
+func (b *Builder) materializeLazy(h *Hierarchy, rec *lazyRec) (*zone.Signed, error) {
+	z := b.rawZone(rec.spec)
+	for _, rr := range rec.delegations {
+		z.MustAdd(rr)
+	}
+	if rec.spec.Unsigned {
+		unsigned, err := z.Sign(zone.SignConfig{Denial: zone.DenialNone})
+		if err != nil {
+			return nil, fmt.Errorf("testbed: serving unsigned %s: %w", rec.spec.Apex, err)
+		}
+		return unsigned, nil
+	}
+	if b.cache != nil && rec.spec.Shared {
+		signed, hit, err := b.cache.sign(z, rec.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: signing %s: %w", rec.spec.Apex, err)
+		}
+		if hit {
+			h.lazyReused.Add(1)
+		} else {
+			h.lazySigned.Add(1)
+		}
+		return signed, nil
+	}
+	signed, err := z.Sign(rec.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: signing %s: %w", rec.spec.Apex, err)
+	}
+	h.lazySigned.Add(1)
+	return signed, nil
 }

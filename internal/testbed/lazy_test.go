@@ -1,0 +1,113 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/nsec3"
+	"repro/internal/zone"
+)
+
+// buildLazyWorld builds a three-level hierarchy (root eager, com and a
+// shared domain zone lazy) with WithLazySigning.
+func buildLazyWorld(t *testing.T, opts ...BuilderOption) *Hierarchy {
+	t.Helper()
+	b := NewBuilder(tInception, tExpiration, append([]BuilderOption{WithLazySigning()}, opts...)...)
+	b.AddZone(ZoneSpec{
+		Apex:   dnswire.Root,
+		Sign:   zone.SignConfig{Denial: zone.DenialNSEC},
+		Server: netsim.Addr4(198, 41, 0, 4),
+	})
+	b.AddZone(ZoneSpec{
+		Apex:   dnswire.MustParseName("com"),
+		Sign:   zone.SignConfig{Denial: zone.DenialNSEC3, OptOut: true},
+		Server: netsim.Addr4(192, 5, 6, 30),
+	})
+	b.AddZone(ZoneSpec{
+		Apex:   dnswire.MustParseName("shared.com"),
+		Sign:   zone.SignConfig{Denial: zone.DenialNSEC3, NSEC3: nsec3.Params{Iterations: 5}},
+		Shared: true,
+		Server: netsim.Addr4(192, 0, 2, 53),
+	})
+	h, err := b.Build(netsim.NewNetwork(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestBuildLazySigning(t *testing.T) {
+	h := buildLazyWorld(t)
+	// Only the root (trust anchor) is signed eagerly.
+	if len(h.Zones) != 1 {
+		t.Fatalf("eager zones = %d, want 1 (root only)", len(h.Zones))
+	}
+	root, ok := h.Zones[dnswire.Root]
+	if !ok {
+		t.Fatal("root zone not signed eagerly")
+	}
+	// Keys are generated eagerly even for lazy zones, so the parent's
+	// DS records exist before any child is materialized.
+	com := dnswire.MustParseName("com")
+	if len(root.Zone.Lookup(com, dnswire.TypeDS)) == 0 {
+		t.Fatal("root has no DS for lazy com zone")
+	}
+	if signed, reused := h.SignStats(); signed != 1 || reused != 0 {
+		t.Fatalf("SignStats before touch = %d/%d, want 1/0", signed, reused)
+	}
+	if m, u := h.LazyStats(); m != 0 || u != 2 {
+		t.Fatalf("LazyStats before touch = %d/%d, want 0/2", m, u)
+	}
+
+	sz, err := h.Materialize(com)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sz.Zone.Lookup(com, dnswire.TypeNSEC3PARAM); len(got) != 1 {
+		t.Fatalf("materialized com has %d NSEC3PARAMs, want 1", len(got))
+	}
+	if m, u := h.LazyStats(); m != 1 || u != 1 {
+		t.Fatalf("LazyStats after com = %d/%d, want 1/1", m, u)
+	}
+	if signed, _ := h.SignStats(); signed != 2 {
+		t.Fatalf("SignStats after com = %d signed, want 2", signed)
+	}
+	// Idempotent: a second Materialize is a lookup, not a re-sign.
+	if _, err := h.Materialize(com); err != nil {
+		t.Fatal(err)
+	}
+	if signed, _ := h.SignStats(); signed != 2 {
+		t.Fatal("second Materialize re-signed the zone")
+	}
+	// Eager zones materialize as a plain lookup; unknown apexes error.
+	if got, err := h.Materialize(dnswire.Root); err != nil || got != root {
+		t.Fatalf("Materialize(root) = %v, %v", got, err)
+	}
+	if _, err := h.Materialize(dnswire.MustParseName("nope.example")); err == nil {
+		t.Fatal("Materialize of unknown apex should error")
+	}
+}
+
+// TestBuildLazySharedUsesCache: a Shared lazy zone materialized in two
+// hierarchies built from one SignCache signs once and reuses once.
+func TestBuildLazySharedUsesCache(t *testing.T) {
+	cache := NewSignCache()
+	shared := dnswire.MustParseName("shared.com")
+
+	h1 := buildLazyWorld(t, WithCache(cache))
+	if _, err := h1.Materialize(shared); err != nil {
+		t.Fatal(err)
+	}
+	if signed, reused := h1.SignStats(); signed != 2 || reused != 0 {
+		t.Fatalf("first build SignStats = %d/%d, want 2/0", signed, reused)
+	}
+
+	h2 := buildLazyWorld(t, WithCache(cache))
+	if _, err := h2.Materialize(shared); err != nil {
+		t.Fatal(err)
+	}
+	if signed, reused := h2.SignStats(); signed != 1 || reused != 1 {
+		t.Fatalf("second build SignStats = %d/%d, want 1/1 (shared zone from cache)", signed, reused)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/dnssec"
@@ -29,11 +30,16 @@ import (
 //
 // Only zones marked Shared in their ZoneSpec consult the cache, so
 // per-shard leaf zones don't accumulate (memory stays O(shared set)).
-// The cache is safe for concurrent builders.
+// The cache is safe for concurrent signers: lazy hierarchies sign
+// shared zones from query-handling goroutines, so sign runs as a
+// singleflight — the mutex only guards the maps, never a Sign call,
+// and concurrent requests for the same content block on one signer
+// while different zones sign in parallel.
 type SignCache struct {
-	mu    sync.Mutex
-	keys  map[dnswire.Name]cachedKeys
-	zones map[[sha256.Size]byte]*zone.Signed
+	mu       sync.Mutex
+	keys     map[dnswire.Name]cachedKeys
+	zones    map[[sha256.Size]byte]*zone.Signed
+	inflight map[[sha256.Size]byte]*signFlight
 
 	signed int
 	reused int
@@ -43,11 +49,20 @@ type cachedKeys struct {
 	ksk, zsk *dnssec.KeyPair
 }
 
+// signFlight is one in-progress signing: waiters block on done and
+// read sz/err afterwards (written before close, so reads are ordered).
+type signFlight struct {
+	done chan struct{}
+	sz   *zone.Signed
+	err  error
+}
+
 // NewSignCache creates an empty cache.
 func NewSignCache() *SignCache {
 	return &SignCache{
-		keys:  make(map[dnswire.Name]cachedKeys),
-		zones: make(map[[sha256.Size]byte]*zone.Signed),
+		keys:     make(map[dnswire.Name]cachedKeys),
+		zones:    make(map[[sha256.Size]byte]*zone.Signed),
+		inflight: make(map[[sha256.Size]byte]*signFlight),
 	}
 }
 
@@ -62,42 +77,91 @@ func (c *SignCache) Stats() (signed, reused int) {
 	return c.signed, c.reused
 }
 
-// sign signs z under cfg, reusing cached keys for the apex and a
-// cached signed zone when the content fingerprint matches a previous
-// build. The returned hit reports whether signing was skipped.
-func (c *SignCache) sign(z *zone.Zone, cfg zone.SignConfig) (signed *zone.Signed, hit bool, err error) {
-	alg := cfg.Algorithm
-	if alg == 0 {
-		alg = dnswire.AlgECDSAP256SHA256 // mirror zone.Sign's default
-	}
+// keysFor returns the cached key pair for apex, generating (and
+// caching) one when absent or when the algorithm changed. The builder
+// calls this eagerly even for lazily-signed zones: a delegation's DS
+// depends only on the child's KSK, so keys must exist at build time
+// while signing itself can wait for the first query.
+func (c *SignCache) keysFor(apex dnswire.Name, alg dnswire.SecAlgorithm, rnd io.Reader) (cachedKeys, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	keys, ok := c.keys[z.Apex]
-	if !ok || keys.ksk.DNSKEY().Algorithm != alg {
-		if keys.ksk, err = dnssec.GenerateKey(alg, true, cfg.Rand); err != nil {
-			return nil, false, err
-		}
-		if keys.zsk, err = dnssec.GenerateKey(alg, false, cfg.Rand); err != nil {
-			return nil, false, err
-		}
-		c.keys[z.Apex] = keys
+	keys, ok := c.keys[apex]
+	if ok && keys.ksk.DNSKEY().Algorithm == alg {
+		return keys, nil
 	}
-	cfg.KSK, cfg.ZSK = keys.ksk, keys.zsk
+	var err error
+	if keys.ksk, err = dnssec.GenerateKey(alg, true, rnd); err != nil {
+		return cachedKeys{}, err
+	}
+	if keys.zsk, err = dnssec.GenerateKey(alg, false, rnd); err != nil {
+		return cachedKeys{}, err
+	}
+	c.keys[apex] = keys
+	return keys, nil
+}
 
-	fp := fingerprint(z, cfg)
-	if s, ok := c.zones[fp]; ok {
-		c.reused++
-		return s, true, nil
+// signAlg resolves the effective algorithm of a config (mirroring
+// zone.Sign's default).
+func signAlg(cfg zone.SignConfig) dnswire.SecAlgorithm {
+	if cfg.Algorithm == 0 {
+		return dnswire.AlgECDSAP256SHA256
 	}
-	// Builds run sequentially in the survey loop, so signing under the
-	// lock costs nothing and keeps the double-sign race trivial.
-	s, err := z.Sign(cfg)
+	return cfg.Algorithm
+}
+
+// sign signs z under cfg, reusing cached keys for the apex and a
+// cached signed zone when the content fingerprint matches a previous
+// build. The returned hit reports whether signing was skipped (either
+// a cache hit or a wait on another goroutine's in-flight signing of
+// the same content).
+func (c *SignCache) sign(z *zone.Zone, cfg zone.SignConfig) (*zone.Signed, bool, error) {
+	keys, err := c.keysFor(z.Apex, signAlg(cfg), cfg.Rand)
 	if err != nil {
 		return nil, false, err
 	}
-	c.zones[fp] = s
-	c.signed++
-	return s, false, nil
+	cfg.KSK, cfg.ZSK = keys.ksk, keys.zsk
+
+	// Fingerprint before Sign: signing mutates the raw zone.
+	fp := fingerprint(z, cfg)
+
+	c.mu.Lock()
+	if s, ok := c.zones[fp]; ok {
+		c.reused++
+		c.mu.Unlock()
+		return s, true, nil
+	}
+	if fl, ok := c.inflight[fp]; ok {
+		// Another goroutine is signing identical content right now:
+		// wait for it rather than signing twice.
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, false, fl.err
+		}
+		c.mu.Lock()
+		c.reused++
+		c.mu.Unlock()
+		return fl.sz, true, nil
+	}
+	fl := &signFlight{done: make(chan struct{})}
+	c.inflight[fp] = fl
+	c.mu.Unlock()
+
+	// Sign outside the lock so distinct zones sign in parallel.
+	fl.sz, fl.err = z.Sign(cfg)
+
+	c.mu.Lock()
+	delete(c.inflight, fp)
+	if fl.err == nil {
+		c.zones[fp] = fl.sz
+		c.signed++
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	if fl.err != nil {
+		return nil, false, fl.err
+	}
+	return fl.sz, false, nil
 }
 
 // fingerprint hashes everything that determines a signed zone's bytes:

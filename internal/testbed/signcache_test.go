@@ -11,8 +11,7 @@ import (
 // buildShared stands up root + com + a leaf, all Shared, against cache.
 func buildShared(t *testing.T, cache *SignCache) *Hierarchy {
 	t.Helper()
-	b := NewBuilder(tInception, tExpiration)
-	b.Cache = cache
+	b := NewBuilder(tInception, tExpiration, WithCache(cache))
 	b.AddZone(ZoneSpec{
 		Apex: dnswire.Root, Shared: true,
 		Sign:   zone.SignConfig{Denial: zone.DenialNSEC},
@@ -62,8 +61,7 @@ func TestSignCacheReusesIdenticalBuilds(t *testing.T) {
 func TestSignCacheMissesOnContentChange(t *testing.T) {
 	cache := NewSignCache()
 	build := func(extra bool) *Hierarchy {
-		b := NewBuilder(tInception, tExpiration)
-		b.Cache = cache
+		b := NewBuilder(tInception, tExpiration, WithCache(cache))
 		b.AddZone(ZoneSpec{
 			Apex: dnswire.Root, Shared: true,
 			Sign:   zone.SignConfig{Denial: zone.DenialNSEC},
