@@ -76,6 +76,13 @@ grep -q '^survey_zones_untouched_total ' "$SNAP"
 grep -q '^authserver_sign_wait_ns_count ' "$SNAP"
 echo "survey metrics smoke OK ($SURVEY_URL)"
 
+echo "== reprolint self-check (golden fixtures) =="
+# Replays every analyzer's golden fixture and publishes the per-analyzer
+# JSON report (findings, want-marker mismatches, timing) as an artifact.
+# A diagnostic drifting from its fixture markers fails this leg even if
+# the real tree stays clean.
+go run ./cmd/reprolint -selfcheck internal/lint/testdata > reprolint-selfcheck.json
+
 echo "== reprolint (baseline ratchet) =="
 # The baseline is the tolerated-findings ratchet. MAX_BASELINE pins the
 # ceiling at the committed entry count; it may only ever be decreased.

@@ -142,7 +142,7 @@ func run() error {
 	}
 
 	real := &netsim.Server{Handler: handler}
-	addr, err := real.Listen(*listen)
+	addr, err := real.Listen(context.Background(), *listen)
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,14 @@
 // //repro:nondeterministic directives (detertaint), not in driver
 // flags.
 //
+// Self-check: -selfcheck <dir> ignores patterns and instead replays
+// every analyzer's golden fixture under <dir> (normally
+// internal/lint/testdata), emitting one JSON report per analyzer —
+// findings count, want-marker mismatches, and run time. CI publishes
+// that array as an artifact; a non-OK fixture exits 1. This catches a
+// toolchain or refactor that shifts analyzer behavior even when no
+// unit test names the changed shape.
+//
 // Baseline: -baseline names a committed JSON ratchet file. Findings
 // matched by an entry (analyzer + file suffix + exact message) are
 // tolerated; anything else fails the run, so the tolerated set can
@@ -49,8 +57,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	baselinePath := fs.String("baseline", "", "ratchet file of tolerated findings; new findings still fail")
 	writeBaseline := fs.Bool("write-baseline", false, "regenerate the -baseline file from current findings and exit")
 	maxBaseline := fs.Int("max-baseline", -1, "fail when the baseline holds more than this many entries (-1: no limit)")
+	selfcheck := fs.String("selfcheck", "", "replay the golden fixtures under this testdata dir and emit per-analyzer JSON reports")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *selfcheck != "" {
+		return runSelfCheck(*selfcheck, stdout, stderr)
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -114,5 +126,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 1
 	}
+	return 0
+}
+
+// runSelfCheck replays every golden fixture and writes the per-analyzer
+// reports as a JSON array. A fixture whose diagnostics drift from its
+// want markers fails the run.
+func runSelfCheck(testdataDir string, stdout, stderr io.Writer) int {
+	reps, err := lint.SelfCheck(testdataDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 2
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reps); err != nil {
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 2
+	}
+	failed := 0
+	for _, r := range reps {
+		if !r.OK() {
+			failed++
+			for _, m := range r.Missing {
+				fmt.Fprintf(stderr, "reprolint: %s: missing: %s\n", r.Analyzer, m)
+			}
+			for _, u := range r.Unexpected {
+				fmt.Fprintf(stderr, "reprolint: %s: unexpected: %s\n", r.Analyzer, u)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "reprolint: %d fixture(s) out of %d failed self-check\n", failed, len(reps))
+		return 1
+	}
+	fmt.Fprintf(stderr, "reprolint: %d fixture(s) passed self-check\n", len(reps))
 	return 0
 }

@@ -78,6 +78,54 @@ func TestRunBaselineFlags(t *testing.T) {
 	}
 }
 
+// TestRunSelfCheck drives the -selfcheck leg CI runs: every golden
+// fixture replays clean and the JSON artifact carries one report per
+// analyzer with its timing.
+func TestRunSelfCheck(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-selfcheck", "../../internal/lint/testdata"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("selfcheck exited %d, stderr: %s", code, stderr.String())
+	}
+	var reps []struct {
+		Analyzer  string   `json:"analyzer"`
+		Findings  int      `json:"findings"`
+		Missing   []string `json:"missing"`
+		ElapsedMS *float64 `json:"elapsed_ms"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &reps); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(reps) == 0 {
+		t.Fatal("selfcheck emitted no reports")
+	}
+	for _, r := range reps {
+		if r.Analyzer == "" {
+			t.Errorf("report lacks an analyzer name: %+v", r)
+		}
+		if r.ElapsedMS == nil {
+			t.Errorf("%s: report lacks elapsed_ms", r.Analyzer)
+		}
+	}
+}
+
+// TestRunCleanCtxPropTargets pins the interprocedural fixes on the real
+// tree: the packages rewired to thread context (atlas's probe path into
+// testbed/netsim/authserver, and respop) stay clean under the full
+// suite, call graph included. A regression that drops a ctx parameter
+// or reintroduces context.Background() in library code fails here.
+func TestRunCleanCtxPropTargets(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"../../internal/atlas", "../../internal/respop",
+		"../../internal/netsim", "../../internal/authserver",
+		"../../internal/testbed",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
 // TestRunSuppression exercises the -exclude plumbing end to end; the
 // suppression semantics themselves are pinned by the internal/lint
 // Suppress tests against synthetic diagnostics.

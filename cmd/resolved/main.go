@@ -100,7 +100,7 @@ func run() error {
 		handler = resolver.New(cfg)
 	}
 	srv := &netsim.Server{Handler: handler}
-	addr, err := srv.Listen(*listen)
+	addr, err := srv.Listen(context.Background(), *listen)
 	if err != nil {
 		return err
 	}

@@ -101,7 +101,7 @@ func (s *Server) apexFor(qname dnswire.Name) (dnswire.Name, bool) {
 // zoneAt returns the signed zone hosted at apex, materializing it
 // first when the apex is lazily registered. The materialized zone is
 // promoted into the eager map, so only the first query pays.
-func (s *Server) zoneAt(apex dnswire.Name) (*zone.Signed, error) {
+func (s *Server) zoneAt(ctx context.Context, apex dnswire.Name) (*zone.Signed, error) {
 	s.mu.RLock()
 	sz, ok := s.zones[apex]
 	lz := s.lazy[apex]
@@ -112,18 +112,19 @@ func (s *Server) zoneAt(apex dnswire.Name) (*zone.Signed, error) {
 	if lz == nil {
 		return nil, errNoZone
 	}
-	return s.materialize(lz)
+	return s.materialize(ctx, lz)
 }
 
 // ZoneFor returns the deepest zone whose apex is an ancestor of (or
 // equal to) qname, materializing it when lazily registered. A zone
-// whose lazy signing failed reports false.
-func (s *Server) ZoneFor(qname dnswire.Name) (*zone.Signed, bool) {
+// whose lazy signing failed reports false. ctx bounds the wait on an
+// in-flight lazy signer.
+func (s *Server) ZoneFor(ctx context.Context, qname dnswire.Name) (*zone.Signed, bool) {
 	apex, ok := s.apexFor(qname)
 	if !ok {
 		return nil, false
 	}
-	sz, err := s.zoneAt(apex)
+	sz, err := s.zoneAt(ctx, apex)
 	return sz, err == nil
 }
 
@@ -132,7 +133,7 @@ func (s *Server) ZoneFor(qname dnswire.Name) (*zone.Signed, bool) {
 // parent zone when this server hosts both (RFC 4035 §3.1.4.1). The
 // returned error is errNoZone (nothing hosted → REFUSED) or a lazy
 // signing failure (→ SERVFAIL).
-func (s *Server) zoneForQuery(qname dnswire.Name, qtype dnswire.Type) (*zone.Signed, error) {
+func (s *Server) zoneForQuery(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*zone.Signed, error) {
 	apex, ok := s.apexFor(qname)
 	if !ok {
 		return nil, errNoZone
@@ -142,7 +143,7 @@ func (s *Server) zoneForQuery(qname dnswire.Name, qtype dnswire.Type) (*zone.Sig
 			apex = parent
 		}
 	}
-	return s.zoneAt(apex)
+	return s.zoneAt(ctx, apex)
 }
 
 // Zones returns the hosted zone apexes — eager and lazy, queried or
@@ -196,7 +197,7 @@ func (s *Server) Handle(ctx context.Context, from netip.AddrPort, query *dnswire
 	if s.Log != nil {
 		s.Log.Record(from, q.Name)
 	}
-	sz, err := s.zoneForQuery(q.Name, q.Type)
+	sz, err := s.zoneForQuery(ctx, q.Name, q.Type)
 	if err != nil {
 		if errors.Is(err, errNoZone) {
 			resp.Header.RCode = dnswire.RCodeRefused

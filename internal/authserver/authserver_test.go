@@ -126,7 +126,7 @@ func TestZoneForPicksDeepest(t *testing.T) {
 	child := buildZone(t, "sub.example.com", zone.DenialNSEC3)
 	s.AddZone(parent)
 	s.AddZone(child)
-	sz, ok := s.ZoneFor(dnswire.MustParseName("www.sub.example.com"))
+	sz, ok := s.ZoneFor(context.Background(), dnswire.MustParseName("www.sub.example.com"))
 	if !ok || sz.Zone.Apex != "sub.example.com." {
 		t.Fatalf("ZoneFor = %v, %v", sz, ok)
 	}

@@ -1,6 +1,7 @@
 package authserver
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -59,7 +60,10 @@ func (s *Server) Instrument(reg *obs.Registry) {
 // Materialize forces lazy signing of the hosted zone with the given
 // apex (idempotent; a no-op for eagerly-installed zones). AXFR setup
 // and tests use it to pre-sign a zone without synthesizing a query.
-func (s *Server) Materialize(apex dnswire.Name) (*zone.Signed, error) {
+// ctx bounds the wait on a signer already in flight; the signing work
+// itself is never abandoned (the memoized result must exist for later
+// queries).
+func (s *Server) Materialize(ctx context.Context, apex dnswire.Name) (*zone.Signed, error) {
 	s.mu.RLock()
 	sz, ok := s.zones[apex]
 	lz := s.lazy[apex]
@@ -70,7 +74,7 @@ func (s *Server) Materialize(apex dnswire.Name) (*zone.Signed, error) {
 	if lz == nil {
 		return nil, fmt.Errorf("authserver: no zone %s", apex)
 	}
-	return s.materialize(lz)
+	return s.materialize(ctx, lz)
 }
 
 // LazyStats reports how many lazily-registered zones have been
@@ -87,14 +91,21 @@ func (s *Server) LazyStats() (materialized, pending int) {
 // failed to sign keeps answering ServFail rather than retrying).
 //
 //repro:nondeterministic sign-wait timing is telemetry (authserver_sign_wait_ns), never response content
-func (s *Server) materialize(lz *lazyZone) (*zone.Signed, error) {
+func (s *Server) materialize(ctx context.Context, lz *lazyZone) (*zone.Signed, error) {
 	var start time.Time
 	if s.mSignWait != nil {
 		start = time.Now()
 	}
+	observe := func() {
+		if s.mSignWait != nil {
+			s.mSignWait.Observe(float64(time.Since(start).Nanoseconds()))
+		}
+	}
 	s.mu.Lock()
 	if lz.done == nil {
-		// First query: this goroutine is the signer.
+		// First query: this goroutine is the signer. Signing runs to
+		// completion even if ctx is cancelled mid-way: waiters and later
+		// queries depend on the memoized result existing.
 		lz.done = make(chan struct{})
 		s.mu.Unlock()
 		lz.sz, lz.err = lz.sign()
@@ -114,10 +125,15 @@ func (s *Server) materialize(lz *lazyZone) (*zone.Signed, error) {
 	} else {
 		done := lz.done
 		s.mu.Unlock()
-		<-done
+		select {
+		case <-done:
+		case <-ctx.Done():
+			// The wait — not the signing — is cancelled; the time spent
+			// blocked is still sign-wait the caller experienced.
+			observe()
+			return nil, ctx.Err()
+		}
 	}
-	if s.mSignWait != nil {
-		s.mSignWait.Observe(float64(time.Since(start).Nanoseconds()))
-	}
+	observe()
 	return lz.sz, lz.err
 }

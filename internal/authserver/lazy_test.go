@@ -153,11 +153,11 @@ func TestMaterializeForcesSigning(t *testing.T) {
 	var calls atomic.Int64
 	apex := dnswire.MustParseName("forced.example")
 	s.AddLazyZone(apex, lazySignFunc("forced.example", &calls))
-	sz, err := s.Materialize(apex)
+	sz, err := s.Materialize(context.Background(), apex)
 	if err != nil || sz == nil {
 		t.Fatalf("Materialize: %v", err)
 	}
-	if _, err := s.Materialize(apex); err != nil {
+	if _, err := s.Materialize(context.Background(), apex); err != nil {
 		t.Fatalf("second Materialize: %v", err)
 	}
 	if got := calls.Load(); got != 1 {
@@ -165,10 +165,54 @@ func TestMaterializeForcesSigning(t *testing.T) {
 	}
 	// Eagerly-installed zones materialize as a no-op lookup.
 	s.AddZone(buildZone(t, "eager.example", zone.DenialNSEC))
-	if _, err := s.Materialize(dnswire.MustParseName("eager.example")); err != nil {
+	if _, err := s.Materialize(context.Background(), dnswire.MustParseName("eager.example")); err != nil {
 		t.Fatalf("eager Materialize: %v", err)
 	}
-	if _, err := s.Materialize(dnswire.MustParseName("nope.example")); err == nil {
+	if _, err := s.Materialize(context.Background(), dnswire.MustParseName("nope.example")); err == nil {
 		t.Fatal("Materialize of unhosted apex should error")
+	}
+}
+
+// TestMaterializeCancelledWaiter pins the cancellation contract added
+// with ctx threading: a waiter blocked behind an in-flight signer
+// returns ctx.Err() when its context is cancelled, while the signer
+// itself runs to completion and memoizes the zone for later callers.
+func TestMaterializeCancelledWaiter(t *testing.T) {
+	s := New()
+	apex := dnswire.MustParseName("slow.example")
+	signing := make(chan struct{})
+	release := make(chan struct{})
+	s.AddLazyZone(apex, func() (*zone.Signed, error) {
+		close(signing)
+		<-release
+		return signTestZone("slow.example")
+	})
+
+	signerDone := make(chan error, 1)
+	go func() {
+		_, err := s.Materialize(context.Background(), apex)
+		signerDone <- err
+	}()
+	<-signing // the signer goroutine now owns the singleflight
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := s.Materialize(ctx, apex)
+		waiterDone <- err
+	}()
+	cancel()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+
+	close(release)
+	if err := <-signerDone; err != nil {
+		t.Fatalf("signer failed: %v", err)
+	}
+	// The abandoned wait did not poison the memoized result.
+	sz, err := s.Materialize(context.Background(), apex)
+	if err != nil || sz == nil {
+		t.Fatalf("post-cancel Materialize: sz=%v err=%v", sz, err)
 	}
 }

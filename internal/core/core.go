@@ -305,7 +305,7 @@ func (run *surveyRun) scanShard(ctx context.Context, shard *population.Shard, re
 			// The AXFR path force-signs its zone explicitly: under lazy
 			// signing a transfer must serve the complete signed zone, so
 			// materialize it rather than relying on the query to do it.
-			if _, err := dep.Hierarchy.Materialize(apex); err != nil {
+			if _, err := dep.Hierarchy.Materialize(ctx, apex); err != nil {
 				return err
 			}
 			rrs, err := scanner.Transfer(ctx, dep.Hierarchy.Net, dep.TLDServers[t.Name], apex)

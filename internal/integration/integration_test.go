@@ -39,7 +39,7 @@ func TestRealSocketResolverAgainstTestbed(t *testing.T) {
 		as.AddZone(sz)
 	}
 	authSrv := &netsim.Server{Handler: as}
-	authAddr, err := authSrv.Listen("127.0.0.1:0")
+	authAddr, err := authSrv.Listen(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestRealSocketResolverAgainstTestbed(t *testing.T) {
 		Now:         func() uint32 { return core.DefaultNow },
 	})
 	resSrv := &netsim.Server{Handler: res}
-	resAddr, err := resSrv.Listen("127.0.0.1:0")
+	resAddr, err := resSrv.Listen(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestRealSocketScanner(t *testing.T) {
 		as.AddZone(sz)
 	}
 	authSrv := &netsim.Server{Handler: as}
-	authAddr, err := authSrv.Listen("127.0.0.1:0")
+	authAddr, err := authSrv.Listen(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestRealSocketScanner(t *testing.T) {
 		Now:         func() uint32 { return core.DefaultNow },
 	})
 	resSrv := &netsim.Server{Handler: res}
-	resAddr, err := resSrv.Listen("127.0.0.1:0")
+	resAddr, err := resSrv.Listen(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -103,6 +103,10 @@ type CallNode struct {
 	// Annotated reports whether the directive is present at all (even
 	// with a missing reason, which detertaint flags separately).
 	Annotated bool
+	// Directives maps every //repro:<name> directive on the
+	// declaration to its (possibly empty) reason text. NondetReason and
+	// Annotated mirror the //repro:nondeterministic entry.
+	Directives map[string]string
 	// Out and In are the outgoing and incoming edges, in source order.
 	Out, In []*CallEdge
 }
@@ -229,18 +233,12 @@ func (g *CallGraph) LitNode(lit *ast.FuncLit) *CallNode {
 // The reason is mandatory; detertaint reports a bare directive.
 const NondetDirective = "//repro:nondeterministic"
 
-// nondetDirective extracts the directive and its reason from a doc
-// comment group.
-func nondetDirective(doc *ast.CommentGroup) (reason string, ok bool) {
-	if doc == nil {
-		return "", false
-	}
-	for _, c := range doc.List {
-		if rest, found := strings.CutPrefix(c.Text, NondetDirective); found {
-			return strings.TrimSpace(rest), true
-		}
-	}
-	return "", false
+// Directive reports whether the declaration carries the named
+// //repro: directive, and its reason text. Literals carry nothing:
+// only declared functions can be annotated, keeping waivers greppable.
+func (n *CallNode) Directive(name string) (reason string, ok bool) {
+	reason, ok = n.Directives[name]
+	return reason, ok
 }
 
 // BuildCallGraph constructs the call graph of pkgs. All packages must
@@ -265,7 +263,8 @@ func BuildCallGraph(pkgs []*Package) *CallGraph {
 					continue
 				}
 				node := &CallNode{Func: fn, Decl: fd, Pkg: pkg}
-				node.NondetReason, node.Annotated = nondetDirective(fd.Doc)
+				node.Directives = parseDirectives(fd.Doc)
+				node.NondetReason, node.Annotated = node.Directive(NondetDirective)
 				g.funcs[funcKey(fn)] = node
 				g.Nodes = append(g.Nodes, node)
 			}

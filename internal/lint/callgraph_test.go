@@ -1,8 +1,11 @@
 package lint_test
 
 import (
+	"go/ast"
+	"go/parser"
 	"go/token"
 	"go/types"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -15,10 +18,29 @@ import (
 func buildFixtureGraph(t *testing.T) *lint.CallGraph {
 	t.Helper()
 	fset := token.NewFileSet()
-	wants := fixtureWants{}
-	imported := map[string]bool{}
-	files := parseFixtureDir(t, fset, filepath.Join("testdata", "src", "callgraph"), wants, imported)
-	info := newTypeInfo()
+	srcDir := filepath.Join("testdata", "src", "callgraph")
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(srcDir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
 	conf := types.Config{}
 	tpkg, err := conf.Check("repro/internal/cgfix", fset, files, info)
 	if err != nil {

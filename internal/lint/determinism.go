@@ -42,7 +42,7 @@ func runDeterminism(pass *Pass) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok {
-				if reason, annotated := nondetDirective(fd.Doc); annotated && reason != "" {
+				if reason := parseDirectives(fd.Doc)[NondetDirective]; reason != "" {
 					continue // sanctioned root; detertaint audits the directive
 				}
 			}

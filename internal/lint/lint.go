@@ -190,6 +190,9 @@ func Analyzers() []*Analyzer {
 		DeterTaintAnalyzer,
 		GoLeakAnalyzer,
 		LockOrderAnalyzer,
+		CtxPropAnalyzer,
+		WireTaintAnalyzer,
+		MergePurityAnalyzer,
 	}
 }
 

@@ -1,241 +1,113 @@
 package lint_test
 
 import (
-	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"go/types"
-	"os"
-	"path/filepath"
-	"regexp"
-	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/lint"
 )
 
-// The golden tests type-check each testdata/src/<analyzer> fixture
-// under a fake import path chosen so the analyzer's package scoping
-// applies, run the single analyzer, and compare its diagnostics against
-// the fixture's `// want `regex`` comments analysistest-style: every
-// diagnostic must land on a line carrying a matching want, and every
-// want must be hit.
+// TestGolden checks every analyzer's fixture against its `// want`
+// markers through the same harness CI's self-check runs, so a fixture
+// that fails here fails `reprolint -selfcheck` identically.
 func TestGolden(t *testing.T) {
-	cases := []struct {
-		analyzer *lint.Analyzer
-		dir      string
-		pkgPath  string
-	}{
-		{lint.DeterminismAnalyzer, "determinism", "repro/internal/population"},
-		{lint.WireSafetyAnalyzer, "wiresafety", "repro/internal/dnswire"},
-		{lint.ErrDiscardAnalyzer, "errdiscard", "repro/internal/lintfixture"},
-		{lint.CopyLockAnalyzer, "copylock", "repro/internal/lintfixture"},
-		{lint.RFCConstAnalyzer, "rfcconst", "repro/internal/dnswire"},
-		{lint.GoLeakAnalyzer, "goleak", "repro/internal/lintfixture"},
-		{lint.LockOrderAnalyzer, "lockorder", "repro/internal/lintfixture"},
-	}
-	for _, tc := range cases {
-		t.Run(tc.dir, func(t *testing.T) {
-			runGolden(t, tc.analyzer, tc.dir, tc.pkgPath)
+	for _, gc := range lint.GoldenCases() {
+		t.Run(gc.Root, func(t *testing.T) {
+			rep, err := lint.CheckFixture("testdata", gc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range rep.Missing {
+				t.Errorf("missing diagnostic: %s", m)
+			}
+			for _, u := range rep.Unexpected {
+				t.Errorf("unexpected diagnostic: %s", u)
+			}
 		})
 	}
 }
 
-// TestGoldenDeterTaint runs the taint analyzer over a two-package
-// fixture: an unscoped infrastructure package and a scoped package
-// importing it, so cross-package chains and sanctioned roots are
-// exercised under the same want-marker contract.
-func TestGoldenDeterTaint(t *testing.T) {
-	runGoldenMulti(t, lint.DeterTaintAnalyzer, "detertaint", []fixturePkg{
-		{subdir: "scanlib", pkgPath: "repro/internal/scanlib"},
-		{subdir: "core", pkgPath: "repro/internal/core"},
-	})
-}
-
-var wantRE = regexp.MustCompile("// want `([^`]+)`")
-
-type wantDiag struct {
-	re      *regexp.Regexp
-	matched bool
-}
-
-// fixtureWants maps file -> line -> expectation.
-type fixtureWants map[string]map[int]*wantDiag
-
-// parseFixtureDir parses every .go file in srcDir, collecting want
-// markers into wants and import paths into imports.
-func parseFixtureDir(t *testing.T, fset *token.FileSet, srcDir string, wants fixtureWants, imports map[string]bool) []*ast.File {
+// goldenCase fetches one analyzer's fixture from the registry.
+func goldenCase(t *testing.T, name string) lint.GoldenCase {
 	t.Helper()
-	entries, err := os.ReadDir(srcDir)
+	for _, gc := range lint.GoldenCases() {
+		if gc.Analyzer.Name == name {
+			return gc
+		}
+	}
+	t.Fatalf("no golden case for analyzer %q", name)
+	return lint.GoldenCase{}
+}
+
+// TestCtxExemptWaiverSemantics pins the ctxprop waiver contract beyond
+// the want markers: a bare directive is itself a finding, and a waiver
+// with a reason absorbs — no diagnostic lands on the waived function
+// or on its caller.
+func TestCtxExemptWaiverSemantics(t *testing.T) {
+	diags, err := lint.RunFixture("testdata", goldenCase(t, "ctxprop"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var files []*ast.File
-	for _, e := range entries {
-		if filepath.Ext(e.Name()) != ".go" {
-			continue
-		}
-		path := filepath.Join(srcDir, e.Name())
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			t.Fatal(err)
-		}
-		files = append(files, f)
-		for _, imp := range f.Imports {
-			p, _ := strconv.Unquote(imp.Path.Value)
-			imports[p] = true
-		}
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				if wants[pos.Filename] == nil {
-					wants[pos.Filename] = map[int]*wantDiag{}
-				}
-				wants[pos.Filename][pos.Line] = &wantDiag{re: regexp.MustCompile(m[1])}
-			}
-		}
-	}
-	return files
-}
-
-func newTypeInfo() *types.Info {
-	return &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		Implicits:  make(map[ast.Node]types.Object),
-	}
-}
-
-// checkDiags compares diagnostics against the collected want markers.
-func checkDiags(t *testing.T, diags []lint.Diagnostic, wants fixtureWants) {
-	t.Helper()
+	var bare bool
 	for _, d := range diags {
-		w := wants[d.Pos.Filename][d.Pos.Line]
-		if w == nil {
-			t.Errorf("unexpected diagnostic: %s", d)
-			continue
+		if strings.Contains(d.Message, lint.CtxExemptDirective+" directive without a reason") {
+			bare = true
 		}
-		if !w.re.MatchString(d.Message) {
-			t.Errorf("diagnostic at %s:%d does not match want %q: %s", d.Pos.Filename, d.Pos.Line, w.re, d.Message)
-			continue
+		if strings.Contains(d.Message, "DeadlineRead") || strings.Contains(d.Message, "UseWaived") {
+			t.Errorf("waiver failed to absorb: %s", d)
 		}
-		w.matched = true
 	}
-	for file, byLine := range wants {
-		for line, w := range byLine {
-			if !w.matched {
-				t.Errorf("missing diagnostic: %s:%d want %q", file, line, w.re)
-			}
-		}
+	if !bare {
+		t.Errorf("bare %s directive was not reported", lint.CtxExemptDirective)
 	}
 }
 
-func runGolden(t *testing.T, analyzer *lint.Analyzer, dir, pkgPath string) {
-	t.Helper()
-	fset := token.NewFileSet()
-	wants := fixtureWants{}
-	imported := map[string]bool{}
-	files := parseFixtureDir(t, fset, filepath.Join("testdata", "src", dir), wants, imported)
-
-	conf := types.Config{}
-	if len(imported) > 0 {
-		var paths []string
-		for p := range imported {
-			paths = append(paths, p)
-		}
-		imp, err := lint.StdImporter(fset, paths...)
-		if err != nil {
-			t.Fatal(err)
-		}
-		conf.Importer = imp
-	}
-	info := newTypeInfo()
-	tpkg, err := conf.Check(pkgPath, fset, files, info)
+// TestWireTrustedPropagatesTaint pins the wiretaint waiver contract:
+// the waived function's own sinks are silent, but taint still flows
+// through it — the unwaived helper it calls reports, with the waived
+// function in the chain. A waiver must never launder attacker bytes
+// for the rest of the call tree.
+func TestWireTrustedPropagatesTaint(t *testing.T) {
+	diags, err := lint.RunFixture("testdata", goldenCase(t, "wiretaint"))
 	if err != nil {
-		t.Fatalf("type-checking fixture: %v", err)
+		t.Fatal(err)
 	}
-	pkg := &lint.Package{Path: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}
-
-	checkDiags(t, lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{analyzer}), wants)
-}
-
-// fixturePkg is one package of a multi-package golden fixture.
-type fixturePkg struct {
-	subdir  string // under testdata/src/<root>
-	pkgPath string // fake import path (drives scoping and imports)
-}
-
-// fixtureImporter resolves the fixture's own fake import paths to the
-// already-checked packages and defers everything else to the standard
-// importer.
-type fixtureImporter struct {
-	std   types.Importer
-	local map[string]*types.Package
-}
-
-func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
-	if p, ok := fi.local[path]; ok {
-		return p, nil
-	}
-	if fi.std == nil {
-		return nil, fmt.Errorf("fixture imports %q but no standard importer is configured", path)
-	}
-	return fi.std.Import(path)
-}
-
-// runGoldenMulti type-checks the fixture packages in order (later ones
-// may import earlier ones by their fake paths), runs the analyzer over
-// the whole set, and checks want markers across every file.
-func runGoldenMulti(t *testing.T, analyzer *lint.Analyzer, root string, fixtures []fixturePkg) {
-	t.Helper()
-	fset := token.NewFileSet()
-	wants := fixtureWants{}
-	imported := map[string]bool{}
-	filesByPkg := make([][]*ast.File, len(fixtures))
-	local := map[string]*types.Package{}
-	for i, fx := range fixtures {
-		srcDir := filepath.Join("testdata", "src", root, fx.subdir)
-		filesByPkg[i] = parseFixtureDir(t, fset, srcDir, wants, imported)
-	}
-	var stdPaths []string
-	for p := range imported {
-		isLocal := false
-		for _, fx := range fixtures {
-			if p == fx.pkgPath {
-				isLocal = true
-			}
+	var throughWaived bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "wire.Trusted → wire.allocT") {
+			throughWaived = true
 		}
-		if !isLocal {
-			stdPaths = append(stdPaths, p)
+		if strings.Contains(d.Message, "directive without a reason") {
+			continue // the hygiene finding on BareWire names no sink
+		}
+		if strings.HasSuffix(d.Message, "wire.Trusted") {
+			t.Errorf("sink inside the waived function was reported: %s", d)
 		}
 	}
-	var std types.Importer
-	if len(stdPaths) > 0 {
-		var err error
-		std, err = lint.StdImporter(fset, stdPaths...)
-		if err != nil {
-			t.Fatal(err)
+	if !throughWaived {
+		t.Errorf("taint did not propagate through the waived function to wire.allocT")
+	}
+}
+
+// TestSelfCheckReports exercises the CI entry point end to end: every
+// fixture passes and carries its analyzer name and a timing.
+func TestSelfCheckReports(t *testing.T) {
+	reps, err := lint.SelfCheck("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(lint.GoldenCases()) {
+		t.Fatalf("got %d reports, want %d", len(reps), len(lint.GoldenCases()))
+	}
+	for _, r := range reps {
+		if !r.OK() {
+			t.Errorf("%s: missing=%v unexpected=%v", r.Analyzer, r.Missing, r.Unexpected)
+		}
+		if r.Analyzer == "" || r.Fixture == "" {
+			t.Errorf("report lacks identity: %+v", r)
+		}
+		if r.Findings == 0 {
+			t.Errorf("%s: fixture produced no findings at all — positive cases missing?", r.Analyzer)
 		}
 	}
-	conf := types.Config{Importer: &fixtureImporter{std: std, local: local}}
-
-	var pkgs []*lint.Package
-	for i, fx := range fixtures {
-		info := newTypeInfo()
-		tpkg, err := conf.Check(fx.pkgPath, fset, filesByPkg[i], info)
-		if err != nil {
-			t.Fatalf("type-checking fixture package %s: %v", fx.pkgPath, err)
-		}
-		local[fx.pkgPath] = tpkg
-		pkgs = append(pkgs, &lint.Package{Path: fx.pkgPath, Fset: fset, Files: filesByPkg[i], Types: tpkg, Info: info})
-	}
-
-	checkDiags(t, lint.Run(pkgs, []*lint.Analyzer{analyzer}), wants)
 }

@@ -1,6 +1,54 @@
 package lint
 
-import "strings"
+import (
+	"go/ast"
+	"strings"
+)
+
+// Waiver directives. Each analyzer that supports per-function waivers
+// names its directive here; the call-graph builder collects every
+// //repro:<name> directive on a declaration into CallNode.Directives,
+// and the owning analyzer decides the semantics (detertaint and
+// ctxprop absorb — callers of a waived function stay clean — while
+// wiretaint only silences the waived function's own sinks and keeps
+// propagating taint through it). A directive without a reason is never
+// a waiver: each analyzer reports it as a finding of its own.
+const (
+	// CtxExemptDirective marks a function that legitimately blocks
+	// without a context.Context (deadline-armed I/O, CPU-bound
+	// singleflight waits, lifecycle owned by a shutdown func).
+	CtxExemptDirective = "//repro:ctxexempt"
+	// WireTrustedDirective marks a function whose allocation/index
+	// sites are bounded by means the taint analysis cannot see (e.g.
+	// fuzz-verified framing). Taint still flows through it.
+	WireTrustedDirective = "//repro:wiretrusted"
+)
+
+// parseDirectives collects every //repro:<name> directive in a doc
+// comment group, keyed by the full directive ("//repro:ctxexempt"),
+// with the rest of the line — the mandatory reason — as the value.
+// Returns nil when the declaration carries no directive.
+func parseDirectives(doc *ast.CommentGroup) map[string]string {
+	if doc == nil {
+		return nil
+	}
+	var out map[string]string
+	for _, c := range doc.List {
+		rest, found := strings.CutPrefix(c.Text, "//repro:")
+		if !found {
+			continue
+		}
+		name, reason, _ := strings.Cut(rest, " ")
+		if name == "" {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]string)
+		}
+		out["//repro:"+name] = strings.TrimSpace(reason)
+	}
+	return out
+}
 
 // ParseExcludes splits a -exclude flag value into path fragments,
 // dropping empties so "a,,b," behaves like "a,b".

@@ -1,0 +1,55 @@
+// Package iolib is the unscoped infrastructure half of the ctxprop
+// fixture: functions that block on the network, with and without the
+// cancellation contract, plus a waived function and a bare directive.
+package iolib
+
+import (
+	"context"
+	"io"
+	"net"
+)
+
+// Pull dials and reads with no way for the caller to abandon either.
+func Pull(addr string) ([]byte, error) { // want `iolib\.Pull is on a blocking path to net\.Dial without a context\.Context parameter: iolib\.Pull → net\.Dial`
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	buf := make([]byte, 512)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// PullCtx is the compliant twin: the signature carries the contract,
+// and the dial honours it.
+func PullCtx(ctx context.Context, addr string) ([]byte, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	buf := make([]byte, 512)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// DeadlineRead fills buf from a connection its caller has armed with a
+// read deadline — the block is bounded without a ctx.
+//
+//repro:ctxexempt the caller arms a read deadline before every call, bounding the fill
+func DeadlineRead(conn net.Conn, buf []byte) (int, error) {
+	return io.ReadFull(conn, buf)
+}
+
+// Bare carries a directive with no justification.
+//
+//repro:ctxexempt
+func Bare() {} // want `//repro:ctxexempt directive without a reason`

@@ -1,0 +1,64 @@
+// Package svc is the consumer half of the ctxprop fixture: cross-
+// package blocking chains, context roots in library code, select
+// service loops, and the semaphore idiom.
+package svc
+
+import (
+	"context"
+	"net"
+
+	"repro/internal/iolib"
+)
+
+// Fetch crosses the package boundary into blocking iolib.Pull; the
+// report carries the whole chain.
+func Fetch(addr string) ([]byte, error) { // want `svc\.Fetch is on a blocking path to net\.Dial without a context\.Context parameter: svc\.Fetch → iolib\.Pull → net\.Dial`
+	return iolib.Pull(addr)
+}
+
+// FetchCtx threads its context into the compliant twin.
+func FetchCtx(ctx context.Context, addr string) ([]byte, error) {
+	return iolib.PullCtx(ctx, addr)
+}
+
+// UseWaived calls a waived function: the waiver absorbs, so the
+// blocking inside DeadlineRead imposes nothing here.
+func UseWaived(conn net.Conn) error {
+	buf := make([]byte, 2)
+	_, err := iolib.DeadlineRead(conn, buf)
+	return err
+}
+
+// Boot mints a context root in library code.
+func Boot() context.Context {
+	return context.Background() // want `context\.Background in non-main code disconnects cancellation`
+}
+
+// Pump is a service loop whose select can never be stopped from the
+// outside.
+func Pump(ctx context.Context, in <-chan int, out chan<- int) {
+	for {
+		select { // want `select loop in svc\.Pump has no cancellation case`
+		case v := <-in:
+			out <- v
+		}
+	}
+}
+
+// PumpCtx is the compliant twin: the ctx.Done receive is the
+// cancellation case.
+func PumpCtx(ctx context.Context, in <-chan int, out chan<- int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			out <- v
+		}
+	}
+}
+
+// Acquire takes a semaphore slot with a bare struct{}-channel send.
+func Acquire(sem chan struct{}) { // want `svc\.Acquire is on a blocking path to a bare struct\{\}-channel send \(semaphore acquire\) without a context\.Context parameter`
+	sem <- struct{}{}
+}

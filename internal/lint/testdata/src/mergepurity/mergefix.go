@@ -1,0 +1,171 @@
+// Package mergefix is the mergepurity fixture: Merge methods in every
+// blessed and forbidden shape — commutative folds, wall-clock reaches
+// (direct and through a helper), non-commutative float forms,
+// map-iteration-order dependence, nested-aggregate overwrites, the
+// guarded max idiom, and a sanctioned nondeterministic merge.
+package mergefix
+
+import "time"
+
+// Sums is the blessed shape: commutative folds only.
+type Sums struct {
+	N     int64
+	Total float64
+}
+
+// Merge folds another shard in; addition commutes.
+func (s *Sums) Merge(o *Sums) {
+	s.N += o.N
+	s.Total += o.Total
+}
+
+// Stamped records when the merge ran.
+type Stamped struct {
+	N    int64
+	When time.Time
+}
+
+// Merge stamps the fold with the wall clock.
+func (s *Stamped) Merge(o *Stamped) { // want `\(\*Stamped\)\.Merge reaches nondeterminism source time\.Now: \(\*Stamped\)\.Merge → time\.Now`
+	s.N += o.N
+	s.When = time.Now()
+}
+
+// Lazy reaches the clock through a helper.
+type Lazy struct{ N int64 }
+
+// Merge delegates to touch, which reads the clock.
+func (l *Lazy) Merge(o *Lazy) { // want `\(\*Lazy\)\.Merge reaches nondeterminism source time\.Now: \(\*Lazy\)\.Merge → mergefix\.touch → time\.Now`
+	l.N += o.N
+	touch()
+}
+
+func touch() {
+	_ = time.Now()
+}
+
+// Avg keeps a running mean.
+type Avg struct {
+	Mean  float64
+	Count float64
+}
+
+// Merge recomputes the mean with a division.
+func (a *Avg) Merge(o *Avg) {
+	total := a.Mean*a.Count + o.Mean*o.Count
+	a.Count += o.Count
+	a.Mean = total / a.Count // want `non-commutative float arithmetic \(/\) in \(\*Avg\)\.Merge`
+}
+
+// Drift accumulates a correction by subtraction.
+type Drift struct{ Err float64 }
+
+// Merge subtracts the other shard's error.
+func (d *Drift) Merge(o *Drift) {
+	d.Err -= o.Err // want `non-commutative float accumulation \(-=\) in \(\*Drift\)\.Merge`
+}
+
+// Tot accumulates dyadic-rational bucket sums: float addition is the
+// repo's blessed accumulation form.
+type Tot struct{ Sum float64 }
+
+// Merge adds.
+func (t *Tot) Merge(o *Tot) {
+	t.Sum += o.Sum
+}
+
+// Last tracks per-key counts plus the most recent key seen.
+type Last struct {
+	Counts  map[string]int64
+	LastKey string
+}
+
+// Merge folds counts with keyed writes (order-safe) but records
+// whichever key the range visits last (order-dependent).
+func (l *Last) Merge(o *Last) {
+	for k, v := range o.Counts {
+		l.Counts[k] += v
+		l.LastKey = k // want `map-iteration-order dependence in \(\*Last\)\.Merge: the last key visited wins`
+	}
+}
+
+// Names flattens keys into one string.
+type Names struct{ Joined string }
+
+// Merge concatenates in visit order.
+func (n *Names) Merge(o *Names, keys map[string]bool) {
+	for k := range keys {
+		n.Joined += k // want `map-iteration-order dependence in \(\*Names\)\.Merge: string concatenation inside a map range records visit order`
+	}
+}
+
+// Keys collects map keys.
+type Keys struct{ All []string }
+
+// Merge appends in visit order.
+func (s *Keys) Merge(o map[string]int) {
+	for k := range o {
+		s.All = append(s.All, k) // want `map-iteration-order dependence in \(\*Keys\)\.Merge: appending range-dependent values records visit order`
+	}
+}
+
+// Outer nests a mergeable aggregate.
+type Outer struct {
+	Sub  Sums
+	Hits int64
+}
+
+// Merge overwrites the nested aggregate instead of merging it.
+func (u *Outer) Merge(o *Outer) {
+	u.Hits += o.Hits
+	u.Sub = o.Sub // want `\(\*Outer\)\.Merge assigns field Sub whose type has its own Merge method`
+}
+
+// In nests the same aggregate and merges it properly.
+type In struct {
+	Sub  Sums
+	Hits int64
+}
+
+// Merge folds the nested aggregate through its own Merge.
+func (i *In) Merge(o *In) {
+	i.Hits += o.Hits
+	i.Sub.Merge(&o.Sub)
+}
+
+// Gauge keeps a maximum.
+type Gauge struct{ Max int64 }
+
+// Merge keeps the larger shard: the copy is dominated by a comparison
+// that mentions the argument, the blessed max idiom.
+func (g *Gauge) Merge(o *Gauge) {
+	if o.Max > g.Max {
+		g.Max = o.Max
+	}
+}
+
+// Clob copies a field straight from the argument.
+type Clob struct{ Rate int64 }
+
+// Merge lets the last shard win.
+func (c *Clob) Merge(o *Clob) {
+	c.Rate = o.Rate // want `\(\*Clob\)\.Merge copies field Rate straight from the argument`
+}
+
+// Whole replaces itself with the argument.
+type Whole struct{ N int64 }
+
+// Merge keeps only the last shard.
+func (w *Whole) Merge(o *Whole) {
+	*w = *o // want `\(\*Whole\)\.Merge overwrites the whole receiver with the argument`
+}
+
+// Sampled keeps an exemplar whose choice is presentation-only.
+type Sampled struct{ Pick int64 }
+
+// Merge keeps whichever shard arrives last, by design.
+//
+//repro:nondeterministic exemplar choice is presentation-only, never aggregated further
+func (s *Sampled) Merge(o *Sampled) {
+	s.Pick = o.Pick
+}

@@ -1,0 +1,33 @@
+// Package srv is the non-codec half of the wiretaint fixture: taint
+// entering through a network read buffer rather than a codec
+// parameter, outside the source packages.
+package srv
+
+import (
+	"encoding/binary"
+	"net"
+)
+
+// RecvAlloc sizes an allocation from bytes a socket wrote into buf.
+func RecvAlloc(conn net.Conn) ([]byte, error) {
+	buf := make([]byte, 1024)
+	if _, err := conn.Read(buf); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(buf)
+	out := make([]byte, n) // want `make sized from untrusted wire bytes without a dominating bounds guard: network read buffer → srv\.RecvAlloc`
+	return out, nil
+}
+
+// RecvBounded guards the decoded length before allocating.
+func RecvBounded(conn net.Conn) ([]byte, error) {
+	buf := make([]byte, 1024)
+	if _, err := conn.Read(buf); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	if n < 0 || n > len(buf) {
+		return nil, nil
+	}
+	return make([]byte, n), nil
+}

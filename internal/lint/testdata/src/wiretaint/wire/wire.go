@@ -1,0 +1,88 @@
+// Package wire is the codec half of the wiretaint fixture: every
+// []byte parameter here is untrusted by definition (the fixture's fake
+// import path ends in internal/dnswire). It exercises the sink kinds,
+// the narrow-type and guard sanitizers, cross-function propagation,
+// and the propagate-through-waiver rule.
+package wire
+
+import "encoding/binary"
+
+// Decode sizes an allocation straight from a 32-bit wire field.
+func Decode(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	out := make([]byte, n) // want `make sized from untrusted wire bytes without a dominating bounds guard: untrusted wire bytes → wire\.Decode`
+	copy(out, b[4:])
+	return out
+}
+
+// DecodeSafe guards the decoded length against the buffer before use.
+func DecodeSafe(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	if n < 0 || n > len(b)-4 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b[4:])
+	return out
+}
+
+// DecodeNarrow reads a 16-bit length: bounded by its width, so the
+// worst allocation is the 64 KiB the attacker already paid to send.
+func DecodeNarrow(b []byte) []byte {
+	n := binary.BigEndian.Uint16(b)
+	return make([]byte, n)
+}
+
+// Parse hands the decoded length to a helper: the sink reports in the
+// helper, with the chain crossing the call.
+func Parse(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	return alloc(int(n))
+}
+
+func alloc(n int) []byte {
+	return make([]byte, n) // want `make sized from untrusted wire bytes without a dominating bounds guard: untrusted wire bytes → wire\.Parse → wire\.alloc`
+}
+
+// Trusted is waived: its own sink is silenced, but the tainted length
+// it forwards must still taint the unwaived helper — a waiver can
+// never launder attacker bytes for the rest of the call tree.
+//
+//repro:wiretrusted fixture: framing is assumed fuzz-verified; proves the waiver does not stop propagation
+func Trusted(b []byte) []byte {
+	n := int(binary.BigEndian.Uint32(b))
+	big := make([]byte, n) // waived: no finding on this line
+	_ = big
+	return allocT(n)
+}
+
+func allocT(n int) []byte {
+	return make([]byte, n) // want `make sized from untrusted wire bytes without a dominating bounds guard: untrusted wire bytes → wire\.Trusted → wire\.allocT`
+}
+
+// BareWire carries a directive with no justification.
+//
+//repro:wiretrusted
+func BareWire() {} // want `//repro:wiretrusted directive without a reason`
+
+// Scan iterates as many times as the wire says.
+func Scan(b []byte) int {
+	count := binary.BigEndian.Uint32(b)
+	sum := 0
+	for i := uint32(0); i < count; i++ { // want `loop bounded by an untrusted wire value without a dominating bounds guard: untrusted wire bytes → wire\.Scan`
+		sum += int(i)
+	}
+	return sum
+}
+
+// At indexes by a wire-decoded offset.
+func At(b []byte) byte {
+	off := binary.BigEndian.Uint32(b)
+	return b[off] // want `slice index derived from untrusted wire bytes without a dominating bounds guard: untrusted wire bytes → wire\.At`
+}
+
+// Window slices by a wire-decoded bound.
+func Window(b []byte) []byte {
+	end := binary.BigEndian.Uint32(b)
+	return b[:end] // want `slice bound derived from untrusted wire bytes without a dominating bounds guard: untrusted wire bytes → wire\.Window`
+}

@@ -188,7 +188,7 @@ func TestAddrHelpers(t *testing.T) {
 // loopback: UDP round trip plus TCP fallback on truncation.
 func TestRealUDPServerAndClient(t *testing.T) {
 	srv := &Server{Handler: echoHandler{txt: "real-socket"}}
-	addr, err := srv.Listen("127.0.0.1:0")
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestRealUDPTruncationTCPFallback(t *testing.T) {
 		return resp
 	})
 	srv := &Server{Handler: h, UDPSize: 512}
-	addr, err := srv.Listen("127.0.0.1:0")
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,19 +243,19 @@ func TestRealUDPTruncationTCPFallback(t *testing.T) {
 
 func TestRealServerRejectsDoubleListen(t *testing.T) {
 	srv := &Server{Handler: echoHandler{}}
-	_, err := srv.Listen("127.0.0.1:0")
+	_, err := srv.Listen(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+	if _, err := srv.Listen(context.Background(), "127.0.0.1:0"); err == nil {
 		t.Fatal("double listen accepted")
 	}
 }
 
 func TestRealServerIgnoresGarbage(t *testing.T) {
 	srv := &Server{Handler: echoHandler{txt: "ok"}}
-	addr, err := srv.Listen("127.0.0.1:0")
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,4 +277,82 @@ func TestRealServerIgnoresGarbage(t *testing.T) {
 // netDialUDP dials a UDP socket to addr (test helper).
 func netDialUDP(addr netip.AddrPort) (net.Conn, error) {
 	return net.Dial("udp", addr.String())
+}
+
+// sendRawQuery fires one query datagram at addr without waiting for a
+// response (test helper for in-flight-handler tests).
+func sendRawQuery(t *testing.T, addr netip.AddrPort, id uint16) {
+	t.Helper()
+	conn, err := netDialUDP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnswire.NewQuery(id, dnswire.MustParseName("block.example"), dnswire.TypeTXT, false)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// blockingHandler parks in the handler until its context is cancelled,
+// reporting the observed error.
+func blockingHandler(entered chan<- struct{}, done chan<- error) HandlerFunc {
+	return func(ctx context.Context, from netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+		entered <- struct{}{}
+		select {
+		case <-ctx.Done():
+			done <- ctx.Err()
+		case <-time.After(5 * time.Second):
+			done <- errors.New("handler context was never cancelled")
+		}
+		return nil
+	}
+}
+
+// TestRealServerCloseCancelsHandlerCtx pins the shutdown contract:
+// Close cancels the context every handler invocation runs under, so an
+// in-flight handler blocked on ctx.Done() unblocks instead of pinning
+// Close's WaitGroup for its full deadline.
+func TestRealServerCloseCancelsHandlerCtx(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	done := make(chan error, 1)
+	srv := &Server{Handler: blockingHandler(entered, done)}
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendRawQuery(t, addr, 80)
+	<-entered
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("handler observed %v, want context.Canceled", err)
+	}
+}
+
+// TestRealServerParentCtxReachesHandlers pins the other half of the
+// Listen contract: cancelling the caller's context — without Close —
+// also reaches in-flight handlers, because every invocation derives
+// from it.
+func TestRealServerParentCtxReachesHandlers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	entered := make(chan struct{}, 1)
+	done := make(chan error, 1)
+	srv := &Server{Handler: blockingHandler(entered, done)}
+	addr, err := srv.Listen(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sendRawQuery(t, addr, 81)
+	<-entered
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("handler observed %v, want context.Canceled", err)
+	}
 }

@@ -31,11 +31,15 @@ type Server struct {
 	ln       net.Listener
 	wg       sync.WaitGroup
 	shutdown chan struct{}
+	cancel   context.CancelFunc
 }
 
 // Listen binds UDP and TCP on addr ("127.0.0.1:0" for an ephemeral
-// loopback port) and starts serving until Close.
-func (s *Server) Listen(addr string) (netip.AddrPort, error) {
+// loopback port) and starts serving until Close or ctx cancellation.
+// ctx is the root context of every handler invocation: cancelling it
+// (or calling Close, which cancels the derived context) reaches
+// in-flight handlers.
+func (s *Server) Listen(ctx context.Context, addr string) (netip.AddrPort, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.shutdown != nil {
@@ -53,9 +57,10 @@ func (s *Server) Listen(addr string) (netip.AddrPort, error) {
 	}
 	s.pc, s.ln = pc, ln
 	s.shutdown = make(chan struct{})
+	ctx, s.cancel = context.WithCancel(ctx)
 	s.wg.Add(2)
-	go s.serveUDP()
-	go s.serveTCP()
+	go s.serveUDP(ctx)
+	go s.serveTCP(ctx)
 	return bound, nil
 }
 
@@ -67,6 +72,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	close(s.shutdown)
+	s.cancel()
 	// Shutdown path: the goroutines below are unblocked by the close
 	// itself; a close error has nothing left to abort.
 	_ = s.pc.Close()
@@ -86,7 +92,7 @@ func (s *Server) udpSize() int {
 	return dnswire.DefaultUDPSize
 }
 
-func (s *Server) serveUDP() {
+func (s *Server) serveUDP(ctx context.Context) {
 	defer s.wg.Done()
 	buf := make([]byte, 65535)
 	for {
@@ -109,7 +115,7 @@ func (s *Server) serveUDP() {
 			if err != nil || len(query.Questions) == 0 || query.Header.Response {
 				return // garbage: drop, like most servers
 			}
-			resp := s.Handler.Handle(context.Background(), fromAP, query)
+			resp := s.Handler.Handle(ctx, fromAP, query)
 			if resp == nil {
 				return
 			}
@@ -131,7 +137,7 @@ func (s *Server) serveUDP() {
 	}
 }
 
-func (s *Server) serveTCP() {
+func (s *Server) serveTCP(ctx context.Context) {
 	defer s.wg.Done()
 	for {
 		conn, err := s.ln.Accept()
@@ -156,7 +162,7 @@ func (s *Server) serveTCP() {
 					return
 				}
 				from := conn.RemoteAddr().(*net.TCPAddr).AddrPort()
-				resp := s.Handler.Handle(context.Background(), from, query)
+				resp := s.Handler.Handle(ctx, from, query)
 				if resp == nil {
 					return
 				}
@@ -168,6 +174,7 @@ func (s *Server) serveTCP() {
 	}
 }
 
+//repro:ctxexempt framed reads are deadline-armed by every caller (serveTCP and exchangeTCP set conn deadlines before the first read)
 func readTCPMessage(r io.Reader) (*dnswire.Message, error) {
 	var lenBuf [2]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {

@@ -29,6 +29,8 @@ func NewHandler(reg *Registry) http.Handler {
 // until the shutdown function is called; shutdown waits for the serve
 // goroutine to exit, so a caller that stops the server and then tears
 // down the registry (or the test binary) cannot race a final accept.
+//
+//repro:ctxexempt the server's lifetime is owned by the returned shutdown func; srv.Close unblocks the serve goroutine and the bind itself is non-blocking
 func Serve(addr string, reg *Registry) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

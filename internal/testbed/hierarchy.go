@@ -8,6 +8,7 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -82,10 +83,11 @@ type Hierarchy struct {
 // Materialize forces signing of the zone with the given apex —
 // idempotent, and a cheap lookup for zones signed eagerly. AXFR setup
 // and tests use it to force-sign a lazy zone without synthesizing a
-// query. The materialized zone is NOT added to h.Zones (which is a
+// query. ctx bounds the wait when another goroutine is already signing
+// the apex. The materialized zone is NOT added to h.Zones (which is a
 // plain map, read concurrently); it is installed on the serving
 // server.
-func (h *Hierarchy) Materialize(apex dnswire.Name) (*zone.Signed, error) {
+func (h *Hierarchy) Materialize(ctx context.Context, apex dnswire.Name) (*zone.Signed, error) {
 	if sz, ok := h.Zones[apex]; ok {
 		return sz, nil
 	}
@@ -93,7 +95,7 @@ func (h *Hierarchy) Materialize(apex dnswire.Name) (*zone.Signed, error) {
 	if !ok {
 		return nil, fmt.Errorf("testbed: no zone %s in hierarchy", apex)
 	}
-	return srv.Materialize(apex)
+	return srv.Materialize(ctx, apex)
 }
 
 // SignStats reports total signing work — eager build-time and lazy

@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dnswire"
@@ -60,7 +61,7 @@ func TestBuildLazySigning(t *testing.T) {
 		t.Fatalf("LazyStats before touch = %d/%d, want 0/2", m, u)
 	}
 
-	sz, err := h.Materialize(com)
+	sz, err := h.Materialize(context.Background(), com)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,17 +75,17 @@ func TestBuildLazySigning(t *testing.T) {
 		t.Fatalf("SignStats after com = %d signed, want 2", signed)
 	}
 	// Idempotent: a second Materialize is a lookup, not a re-sign.
-	if _, err := h.Materialize(com); err != nil {
+	if _, err := h.Materialize(context.Background(), com); err != nil {
 		t.Fatal(err)
 	}
 	if signed, _ := h.SignStats(); signed != 2 {
 		t.Fatal("second Materialize re-signed the zone")
 	}
 	// Eager zones materialize as a plain lookup; unknown apexes error.
-	if got, err := h.Materialize(dnswire.Root); err != nil || got != root {
+	if got, err := h.Materialize(context.Background(), dnswire.Root); err != nil || got != root {
 		t.Fatalf("Materialize(root) = %v, %v", got, err)
 	}
-	if _, err := h.Materialize(dnswire.MustParseName("nope.example")); err == nil {
+	if _, err := h.Materialize(context.Background(), dnswire.MustParseName("nope.example")); err == nil {
 		t.Fatal("Materialize of unknown apex should error")
 	}
 }
@@ -96,7 +97,7 @@ func TestBuildLazySharedUsesCache(t *testing.T) {
 	shared := dnswire.MustParseName("shared.com")
 
 	h1 := buildLazyWorld(t, WithCache(cache))
-	if _, err := h1.Materialize(shared); err != nil {
+	if _, err := h1.Materialize(context.Background(), shared); err != nil {
 		t.Fatal(err)
 	}
 	if signed, reused := h1.SignStats(); signed != 2 || reused != 0 {
@@ -104,7 +105,7 @@ func TestBuildLazySharedUsesCache(t *testing.T) {
 	}
 
 	h2 := buildLazyWorld(t, WithCache(cache))
-	if _, err := h2.Materialize(shared); err != nil {
+	if _, err := h2.Materialize(context.Background(), shared); err != nil {
 		t.Fatal(err)
 	}
 	if signed, reused := h2.SignStats(); signed != 1 || reused != 1 {

@@ -114,6 +114,8 @@ func signAlg(cfg zone.SignConfig) dnswire.SecAlgorithm {
 // build. The returned hit reports whether signing was skipped (either
 // a cache hit or a wait on another goroutine's in-flight signing of
 // the same content).
+//
+//repro:ctxexempt the singleflight wait is bounded by the in-flight signer, which is CPU-bound ECDSA over a finite zone, not I/O
 func (c *SignCache) sign(z *zone.Zone, cfg zone.SignConfig) (*zone.Signed, bool, error) {
 	keys, err := c.keysFor(z.Apex, signAlg(cfg), cfg.Rand)
 	if err != nil {

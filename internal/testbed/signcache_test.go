@@ -69,7 +69,7 @@ func TestSignCacheMissesOnContentChange(t *testing.T) {
 		})
 		b.AddZone(ZoneSpec{
 			Apex: dnswire.MustParseName("com"), Shared: true,
-			Sign:   zone.SignConfig{Denial: zone.DenialNSEC3},
+			Sign: zone.SignConfig{Denial: zone.DenialNSEC3},
 			Populate: func(z *zone.Zone) {
 				if extra {
 					z.MustAdd(dnswire.RR{Name: z.Apex.MustChild("added"), Class: dnswire.ClassIN,
