@@ -33,6 +33,9 @@ REPRO_PID=""
 cleanup() {
   kill "$AUTHD_PID" 2>/dev/null || true
   [ -n "$REPRO_PID" ] && kill "$REPRO_PID" 2>/dev/null || true
+  for p in "${W1_PID:-}" "${W2_PID:-}"; do
+    [ -n "$p" ] && kill "$p" 2>/dev/null || true
+  done
   rm -rf "$SMOKE_DIR"
 }
 trap cleanup EXIT
@@ -75,6 +78,44 @@ grep -q '^survey_zones_signed_lazily_total ' "$SNAP"
 grep -q '^survey_zones_untouched_total ' "$SNAP"
 grep -q '^authserver_sign_wait_ns_count ' "$SNAP"
 echo "survey metrics smoke OK ($SURVEY_URL)"
+
+echo "== distributed survey smoke (coordinator + 2 workers on loopback) =="
+DIST_STATE="$SMOKE_DIR/dist-state"
+"$SMOKE_DIR/repro" -serve 127.0.0.1:0 -fig1 -shards 4 -domain-scale 500000 \
+  -state-dir "$DIST_STATE" -metrics 127.0.0.1:0 \
+  >"$SMOKE_DIR/coord.log" 2>"$SMOKE_DIR/coord.err" &
+REPRO_PID=$!
+COORD_ADDR=""
+for _ in $(seq 1 100); do
+  COORD_ADDR=$(sed -n 's#^repro: coordinating on \(.*\)$#\1#p' "$SMOKE_DIR/coord.err")
+  [ -n "$COORD_ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$COORD_ADDR" ] || { echo "coordinator never bound"; cat "$SMOKE_DIR/coord.err"; exit 1; }
+DIST_URL=$(sed -n 's#^repro: metrics on \(http://[^ ]*\)/metrics$#\1/metrics#p' "$SMOKE_DIR/coord.err")
+"$SMOKE_DIR/repro" -worker "$COORD_ADDR" -shards 4 -domain-scale 500000 \
+  >"$SMOKE_DIR/worker1.log" 2>&1 &
+W1_PID=$!
+"$SMOKE_DIR/repro" -worker "$COORD_ADDR" -shards 4 -domain-scale 500000 \
+  >"$SMOKE_DIR/worker2.log" 2>&1 &
+W2_PID=$!
+# Snapshot the coordinator's merged /metrics until it exits; the last
+# good scrape carries the merged worker counters.
+DSNAP="$SMOKE_DIR/dist-metrics.snap"
+: > "$DSNAP"
+while kill -0 "$REPRO_PID" 2>/dev/null; do
+  curl -fsS "$DIST_URL" > "$DSNAP.tmp" 2>/dev/null && mv "$DSNAP.tmp" "$DSNAP"
+  sleep 0.1
+done
+wait "$REPRO_PID" || { echo "coordinator exited nonzero"; cat "$SMOKE_DIR/coord.err"; exit 1; }
+REPRO_PID=""
+wait "$W1_PID" || { echo "worker 1 exited nonzero"; cat "$SMOKE_DIR/worker1.log"; exit 1; }
+wait "$W2_PID" || { echo "worker 2 exited nonzero"; cat "$SMOKE_DIR/worker2.log"; exit 1; }
+grep -q '^survey_shards_completed_total ' "$DSNAP"
+grep -q '^distsurvey_leases_granted_total ' "$DSNAP"
+grep -q '^distsurvey_workers_connected_total 2$' "$DSNAP"
+ls "$DIST_STATE"/shard-*.json >/dev/null || { echo "no shard checkpoints written"; exit 1; }
+echo "distributed survey smoke OK (coordinator $COORD_ADDR)"
 
 echo "== reprolint self-check (golden fixtures) =="
 # Replays every analyzer's golden fixture and publishes the per-analyzer

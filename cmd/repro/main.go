@@ -60,6 +60,12 @@ func run() error {
 		tScale   = flag.Int("tranco-scale", 100, "divide the 1 M Tranco list by this")
 		metrics  = flag.String("metrics", "", "serve /metrics and /healthz on this address while running")
 		traceOut = flag.String("trace", "", "append survey phase spans to this NDJSON file")
+
+		serveAddr  = flag.String("serve", "", "coordinate the domain survey for -worker processes on this TCP address (e.g. 127.0.0.1:0)")
+		workerAddr = flag.String("worker", "", "execute survey shards for the coordinator at this TCP address (start with the same survey flags)")
+		stateDir   = flag.String("state-dir", "", "coordinator: directory for crash-safe shard checkpoints")
+		resume     = flag.Bool("resume", false, "coordinator: resume a survey from -state-dir instead of starting fresh")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "coordinator: re-lease shards from workers silent this long (default 10s)")
 	)
 	flag.Parse()
 	if !(*table1 || *fig1 || *fig2 || *table2 || *tlds || *fig3 || *timeline) {
@@ -97,6 +103,29 @@ func run() error {
 		// releases the descriptor.
 		defer func() { _ = f.Close() }()
 		tracer = obs.NewTracer(scanner.NewEncoder(f))
+	}
+
+	if *serveAddr != "" || *workerAddr != "" {
+		if *serveAddr != "" && *workerAddr != "" {
+			return fmt.Errorf("-serve and -worker are mutually exclusive")
+		}
+		spec, err := core.SurveyConfig{
+			Registered: population.FullRegistered / *dScale,
+			Seed:       *seed,
+			Shards:     *shards,
+			Signing:    signingMode,
+		}.Resolve()
+		if err != nil {
+			return err
+		}
+		if *workerAddr != "" {
+			return runDistWorker(ctx, *workerAddr, spec, reg, tracer)
+		}
+		return runDistCoordinator(ctx, *serveAddr, spec, reg, *stateDir, *resume, *leaseTTL, distSections{
+			fig1:   *all || *fig1,
+			table2: *all || *table2,
+			tlds:   *all || *tlds,
+		})
 	}
 
 	if *all || *table1 {

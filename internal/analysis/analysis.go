@@ -6,6 +6,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -203,6 +204,48 @@ func (s *OperatorStats) Merge(o *OperatorStats) {
 			s.params[op][k] += v
 		}
 	}
+}
+
+// operatorStatsJSON is the wire form of OperatorStats: the fields are
+// unexported so shard outcomes crossing a process boundary need an
+// explicit codec. encoding/json sorts map keys, so the encoding is
+// deterministic.
+type operatorStatsJSON struct {
+	Total   int                       `json:"total"`
+	Mixed   int                       `json:"mixed"`
+	Domains map[string]int            `json:"domains"`
+	Params  map[string]map[string]int `json:"params"`
+}
+
+// MarshalJSON encodes the accumulator for shard-outcome transport.
+func (s *OperatorStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(operatorStatsJSON{
+		Total:   s.total,
+		Mixed:   s.mixed,
+		Domains: s.domains,
+		Params:  s.params,
+	})
+}
+
+// UnmarshalJSON decodes an accumulator, guaranteeing non-nil maps so a
+// decoded value is indistinguishable from a locally built one (Merge
+// and reflect.DeepEqual both rely on that).
+func (s *OperatorStats) UnmarshalJSON(data []byte) error {
+	var w operatorStatsJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	s.total = w.Total
+	s.mixed = w.Mixed
+	s.domains = w.Domains
+	s.params = w.Params
+	if s.domains == nil {
+		s.domains = make(map[string]int)
+	}
+	if s.params == nil {
+		s.params = make(map[string]map[string]int)
+	}
+	return nil
 }
 
 // Top returns the n largest operators by exclusive domain count,

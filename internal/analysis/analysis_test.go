@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"math"
 	"reflect"
 	"strings"
@@ -230,5 +231,47 @@ func TestCDFHistRoundTripAndMerge(t *testing.T) {
 	a.Merge(nil)
 	if a.Total() != 16 || a.Max() != 500 {
 		t.Fatalf("no-op merges changed the CDF: total=%d max=%d", a.Total(), a.Max())
+	}
+}
+
+// TestOperatorStatsJSONRoundTrip pins the wire codec the distributed
+// survey ships shard outcomes through: a decoded accumulator is
+// DeepEqual to the original (non-nil maps included) and keeps merging.
+func TestOperatorStatsJSONRoundTrip(t *testing.T) {
+	s := NewOperatorStats()
+	s.Add([]string{"ns.one.example"}, 5, 8)
+	s.Add([]string{"ns.one.example"}, 5, 8)
+	s.Add([]string{"a.example", "b.example"}, 0, 0) // mixed
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewOperatorStats()
+	if err := json.Unmarshal(data, got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip drifted: %+v vs %+v", s, got)
+	}
+	// Empty accumulators must also round-trip to non-nil maps: a worker
+	// that saw no NSEC3 domains still produces a mergeable outcome.
+	empty := NewOperatorStats()
+	data, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = &OperatorStats{}
+	if err := json.Unmarshal(data, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.domains == nil || got.params == nil {
+		t.Fatal("decoded accumulator has nil maps")
+	}
+	got.Merge(s)
+	if got.Total() != s.Total() {
+		t.Fatalf("merge after decode: total %d, want %d", got.Total(), s.Total())
+	}
+	if !reflect.DeepEqual(empty, NewOperatorStats()) {
+		t.Fatal("marshal mutated the source accumulator")
 	}
 }

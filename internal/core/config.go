@@ -1,6 +1,12 @@
 package core
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // SigningMode selects when a survey shard's zones are signed.
 type SigningMode int
@@ -55,6 +61,69 @@ func (c SurveyConfig) Validate() error {
 		return &ConfigError{Field: "Signing", Reason: fmt.Sprintf("unknown signing mode %d", int(c.Signing))}
 	}
 	return nil
+}
+
+// SurveySpec is the serializable subset of SurveyConfig: everything a
+// worker process needs to execute a shard, nothing that cannot cross a
+// socket (registries, tracers). All fields are fully resolved — a spec
+// never carries zero-means-default values, so two processes holding
+// the same spec make identical choices.
+type SurveySpec struct {
+	Registered int         `json:"registered"`
+	Seed       uint64      `json:"seed"`
+	Workers    int         `json:"workers"`
+	QPS        int         `json:"qps"`
+	Shards     int         `json:"shards"`
+	Signing    SigningMode `json:"signing"`
+}
+
+// Resolve validates c and returns its fully defaulted serializable
+// spec — the single entry point both the in-process and distributed
+// engines go through.
+func (c SurveyConfig) Resolve() (SurveySpec, error) {
+	if err := c.Validate(); err != nil {
+		return SurveySpec{}, err
+	}
+	d := c.withDefaults()
+	return SurveySpec{
+		Registered: d.Registered,
+		Seed:       d.Seed,
+		Workers:    d.Workers,
+		QPS:        d.QPS,
+		Shards:     d.Shards,
+		Signing:    d.Signing,
+	}, nil
+}
+
+// Config returns the in-process SurveyConfig equivalent of the spec,
+// with the given process-local attachments.
+func (s SurveySpec) Config(reg *obs.Registry, trace *obs.Tracer) SurveyConfig {
+	return SurveyConfig{
+		Registered: s.Registered,
+		Seed:       s.Seed,
+		Workers:    s.Workers,
+		QPS:        s.QPS,
+		Shards:     s.Shards,
+		Signing:    s.Signing,
+		Obs:        reg,
+		Trace:      trace,
+	}
+}
+
+// specHashVersion versions the hash preimage: bump it whenever the
+// shard plan or outcome format changes incompatibly, so stale state
+// directories are refused rather than misinterpreted.
+const specHashVersion = 1
+
+// Hash returns the hex config hash identifying which survey a shard
+// job, checkpoint, or state directory belongs to. Only result- and
+// plan-affecting fields participate: Registered, Seed, Shards, and
+// Signing pin the shard decomposition and its outcomes, while Workers
+// and QPS are runtime throttles a resumed run may legitimately change.
+func (s SurveySpec) Hash() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("repro-survey-v%d:r=%d:s=%d:sh=%d:sg=%d",
+		specHashVersion, s.Registered, s.Seed, s.Shards, int(s.Signing))))
+	return hex.EncodeToString(h[:16])
 }
 
 // withDefaults returns a copy of c with zero fields resolved to their

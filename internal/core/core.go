@@ -27,11 +27,9 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/compliance"
 	"repro/internal/dnswire"
-	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/population"
 	"repro/internal/scanner"
-	"repro/internal/testbed"
 )
 
 // Default simulation clock: signatures valid around this instant.
@@ -131,253 +129,33 @@ func (s *surveySink) Consume(r scanner.Result) {
 }
 
 // RunSurvey executes the full domain-side experiment as a sharded
-// stream: each shard is generated, deployed onto its own simulated
-// network, scanned, and merged into the report before the next shard
-// is touched.
+// stream: plan the shards, execute each one (generate, deploy onto its
+// own simulated network, scan), and merge its outcome into the report
+// before the next shard is touched. It is the thin in-process client
+// of the plan/execute/merge engine in engine.go — the distributed
+// coordinator/worker runner (internal/distsurvey) drives the exact
+// same layers, so both modes produce byte-identical reports.
 func RunSurvey(ctx context.Context, cfg SurveyConfig) (*SurveyReport, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	cfg = cfg.withDefaults()
-	cur, err := population.NewShardCursor(population.Config{
-		Registered: cfg.Registered,
-		Seed:       cfg.Seed,
-	}, cfg.Shards)
+	spec, err := cfg.Resolve()
 	if err != nil {
 		return nil, err
 	}
-	tlds := cur.TLDs()
-	report := &SurveyReport{
-		Agg:       compliance.NewAggregate(),
-		Operators: analysis.NewOperatorStats(),
-		TLDAgg:    population.AggregateTLDs(tlds),
+	jobs, err := PlanJobs(spec)
+	if err != nil {
+		return nil, err
 	}
-	idTLD := make(map[string]bool)
-	for _, t := range tlds {
-		if t.Registry == population.IdentityDigitalName {
-			idTLD[t.Name] = true
-		}
-	}
-	transferred := make(map[string]bool)
-	run := &surveyRun{
-		cfg:       cfg,
-		cache:     testbed.NewSignCache(),
-		mScanned:  cfg.Obs.Counter("survey_domains_scanned_total", "registered domains scanned successfully"),
-		mIterWork: cfg.Obs.Counter("survey_nsec3_iteration_work_total", "cumulative 1+iterations over scanned NSEC3 zones (Gruza et al. verification cost)"),
-		mSigned:   cfg.Obs.Counter("survey_zones_signed_total", "zones signed fresh (deploy-time or lazily on first query)"),
-		mReused:   cfg.Obs.Counter("survey_zones_reused_total", "zones served from the sign cache"),
-		mLazy:     cfg.Obs.Counter("survey_zones_signed_lazily_total", "zones materialized by their first query instead of at deploy time"),
-		mUntouch:  cfg.Obs.Counter("survey_zones_untouched_total", "deployed zones never queried during their shard — work lazy signing skipped entirely"),
-		mRate:     cfg.Obs.Gauge("survey_domains_per_second", "cumulative registered-domain scan throughput"),
-	}
-	for index := 0; ; index++ {
-		gen := cfg.Trace.Start("generate", index)
-		shard, err := cur.Next()
-		gen.End()
+	builder := NewReportBuilder(spec)
+	runner := NewShardRunner(cfg.Obs, cfg.Trace, nil)
+	for _, job := range jobs {
+		out, err := runner.Execute(ctx, job)
 		if err != nil {
 			return nil, err
 		}
-		if shard == nil {
-			break
-		}
-		if err := run.scanShard(ctx, shard, report, idTLD, transferred); err != nil {
+		if err := builder.Add(out); err != nil {
 			return nil, err
 		}
 	}
-	report.TLDZonesTransferred = len(transferred)
-
-	// Figure 1 CDFs from the merged histograms.
-	iterHist := make(map[int]int, len(report.Agg.IterationsHist))
-	for v, c := range report.Agg.IterationsHist {
-		iterHist[int(v)] = c
-	}
-	report.IterCDF = analysis.CDFFromHist(iterHist)
-	report.SaltCDF = analysis.CDFFromHist(report.Agg.SaltLenHist)
-	return report, nil
-}
-
-// surveyRun carries the per-run machinery shared by every shard: the
-// sign cache that deduplicates infrastructure signing across shard
-// deployments, and the obs counters (all no-op without Config.Obs).
-// Scan-throughput bookkeeping sums span durations so the tracer stays
-// the run's only clock.
-type surveyRun struct {
-	cfg       SurveyConfig
-	cache     *testbed.SignCache
-	mScanned  *obs.Counter
-	mIterWork *obs.Counter
-	mSigned   *obs.Counter
-	mReused   *obs.Counter
-	mLazy     *obs.Counter
-	mUntouch  *obs.Counter
-	mRate     *obs.Gauge
-
-	scannedDomains int
-	scanSeconds    float64
-}
-
-// scanShard deploys one shard, scans it, and merges its aggregates
-// into the report. The TLD registry is scanned end-to-end only on
-// shard 0 — every shard's deployment signs the TLD zones with the same
-// registry parameters, so once is enough. The AXFR delegation count
-// runs per shard: a shard's TLD zones delegate exactly that shard's
-// domains, so the per-shard counts sum to the whole-universe total.
-func (run *surveyRun) scanShard(ctx context.Context, shard *population.Shard, report *SurveyReport, idTLD, transferred map[string]bool) error {
-	cfg := run.cfg
-	u := shard.Universe
-	deploySpan := cfg.Trace.Start("deploy", shard.Index)
-	opts := []population.DeployOption{population.WithSignCache(run.cache)}
-	if cfg.Signing != SigningEager {
-		opts = append(opts, population.WithLazySigning())
-	}
-	dep, err := population.Deploy(u, netsim.NewNetwork(cfg.Seed+uint64(shard.Index)), DefaultInception, DefaultExpiration, opts...)
-	if err != nil {
-		return err
-	}
-	dep.Hierarchy.Net.Instrument(cfg.Obs)
-	dep.Hierarchy.Instrument(cfg.Obs)
-	resolverAddr, err := installScanResolver(dep.Hierarchy, cfg.Obs)
-	if err != nil {
-		return err
-	}
-	sc := scanner.New(scanner.Config{
-		Exchanger: dep.Hierarchy.Net,
-		Resolver:  resolverAddr,
-		Workers:   cfg.Workers,
-		QPS:       cfg.QPS,
-		Seed:      cfg.Seed + 1 + uint64(shard.Index),
-		Obs:       cfg.Obs,
-	})
-	defer sc.Close()
-	deploySpan.End()
-
-	// Scan this shard's registered domains into per-worker sinks.
-	names := make([]dnswire.Name, len(u.Domains))
-	for i := range u.Domains {
-		names[i] = u.Domains[i].Name
-	}
-	scanSpan := cfg.Trace.Start("scan", shard.Index)
-	sinks := make([]*surveySink, 0, cfg.Workers)
-	err = sc.ScanAll(ctx, scanner.Names(names), func(int) scanner.Sink {
-		s := &surveySink{
-			agg: compliance.NewAggregate(), ops: analysis.NewOperatorStats(),
-			mScanned: run.mScanned, mIterWork: run.mIterWork,
-		}
-		sinks = append(sinks, s)
-		return s
-	})
-	if err != nil {
-		return err
-	}
-	if shard.Index == 0 {
-		if err := run.scanTLDs(ctx, sc, u.TLDs, report); err != nil {
-			return err
-		}
-	}
-
-	// The ≥12.6 M-domains estimate: count delegations in Identity
-	// Digital TLD zones obtained via AXFR where the registry opens its
-	// zone data (the paper's CZDS/AXFR path), and fall back to our
-	// registered-domain list — "necessarily incomplete and therefore
-	// only a lower bound" (§5.1) — for the rest.
-	listCounts := make(map[string]int)
-	for i := range u.Domains {
-		if idTLD[u.Domains[i].TLD] {
-			listCounts[u.Domains[i].TLD]++
-		}
-	}
-	for _, t := range u.TLDs {
-		if !idTLD[t.Name] {
-			continue
-		}
-		counted := false
-		// A shard-local zone delegates exactly the shard's domains, so
-		// for a TLD with none of them the transfer is vacuous: it
-		// counts zero delegations and would only force-sign a zone
-		// nothing else touches. Shard 0 still transfers every open
-		// zone, keeping the transferred set — and the report — exactly
-		// what a single-shard run produces.
-		if t.OpenZoneData && (shard.Index == 0 || listCounts[t.Name] > 0) {
-			apex, err := dnswire.FromLabels(t.Name)
-			if err != nil {
-				return err
-			}
-			// The AXFR path force-signs its zone explicitly: under lazy
-			// signing a transfer must serve the complete signed zone, so
-			// materialize it rather than relying on the query to do it.
-			if _, err := dep.Hierarchy.Materialize(ctx, apex); err != nil {
-				return err
-			}
-			rrs, err := scanner.Transfer(ctx, dep.Hierarchy.Net, dep.TLDServers[t.Name], apex)
-			if err == nil {
-				report.DomainsUnderIDTLDs += scanner.CountDelegations(apex, rrs)
-				transferred[t.Name] = true
-				counted = true
-			}
-		}
-		if !counted {
-			report.DomainsUnderIDTLDs += listCounts[t.Name]
-		}
-	}
-
-	// Signing-work accounting happens once the shard's traffic has
-	// drained: lazy thunks run from query-handling goroutines, so the
-	// totals are only final here. SignStats folds eager build-time and
-	// lazy post-build work together, keeping the signed/reused counters
-	// comparable across signing modes.
-	signed, reused := dep.Hierarchy.SignStats()
-	run.mSigned.Add(uint64(signed))
-	run.mReused.Add(uint64(reused))
-	materialized, untouched := dep.Hierarchy.LazyStats()
-	run.mLazy.Add(uint64(materialized))
-	run.mUntouch.Add(uint64(untouched))
-
-	// The tracer owns the wall clock: throughput is derived from span
-	// durations rather than read directly, keeping core deterministic.
-	run.scannedDomains += len(u.Domains)
-	run.scanSeconds += scanSpan.End().Seconds()
-	if run.scanSeconds > 0 {
-		run.mRate.Set(float64(run.scannedDomains) / run.scanSeconds)
-	}
-
-	mergeSpan := cfg.Trace.Start("merge", shard.Index)
-	defer mergeSpan.End()
-	for _, s := range sinks {
-		report.Agg.Merge(s.agg)
-		report.Operators.Merge(s.ops)
-		report.ScanErrors += s.scanErrors
-	}
-	return nil
-}
-
-// scanTLDs pushes the TLD registry through the same scan pipeline.
-func (run *surveyRun) scanTLDs(ctx context.Context, sc *scanner.Scanner, tlds []population.TLDSpec, report *SurveyReport) error {
-	names := make([]dnswire.Name, 0, len(tlds))
-	for _, t := range tlds {
-		n, err := dnswire.FromLabels(t.Name)
-		if err != nil {
-			return err
-		}
-		names = append(names, n)
-	}
-	var sinks []*surveySink
-	err := sc.ScanAll(ctx, scanner.Names(names), func(int) scanner.Sink {
-		// TLD scans charge iteration work but not the domain counter —
-		// survey_domains_scanned_total means registered domains.
-		s := &surveySink{agg: compliance.NewAggregate(), mIterWork: run.mIterWork}
-		sinks = append(sinks, s)
-		return s
-	})
-	if err != nil {
-		return err
-	}
-	agg := compliance.NewAggregate()
-	for _, s := range sinks {
-		agg.Merge(s.agg)
-		report.ScanErrors += s.scanErrors
-	}
-	report.TLDs = *agg
-	return nil
+	return builder.Finish(), nil
 }
 
 // operatorKeys maps NS host names to operator keys: the registered

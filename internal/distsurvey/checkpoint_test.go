@@ -1,0 +1,91 @@
+package distsurvey
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func storeSpec(t *testing.T, seed uint64) core.SurveySpec {
+	t.Helper()
+	spec, err := core.SurveyConfig{Registered: 100, Seed: seed, Shards: 2}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestOpenStoreLifecycle pins the typed refusals around state
+// directories: fresh-over-live needs -resume, resume-with-other-flags
+// is a mismatch, resume-of-nothing is an error.
+func TestOpenStoreLifecycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	spec := storeSpec(t, 1)
+
+	if _, _, _, err := OpenStore(dir, spec, true); err == nil {
+		t.Fatal("resume of a nonexistent state dir succeeded")
+	}
+	store, cps, skipped, err := OpenStore(dir, spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 0 || skipped != 0 {
+		t.Fatalf("fresh store reported %d checkpoints, %d skipped", len(cps), skipped)
+	}
+	var exists *StateExistsError
+	if _, _, _, err := OpenStore(dir, spec, false); !errors.As(err, &exists) {
+		t.Fatalf("second fresh open returned %v, want *StateExistsError", err)
+	}
+	var mismatch *StateMismatchError
+	if _, _, _, err := OpenStore(dir, storeSpec(t, 2), true); !errors.As(err, &mismatch) {
+		t.Fatalf("foreign resume returned %v, want *StateMismatchError", err)
+	}
+
+	// Round trip one checkpoint and resume it.
+	if err := store.Write(&Checkpoint{Outcome: &core.ShardOutcome{Index: 1, ScanErrors: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	_, cps, skipped, err = OpenStore(dir, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(cps) != 1 || cps[0].Outcome.Index != 1 || cps[0].Outcome.ScanErrors != 3 {
+		t.Fatalf("resume returned cps=%+v skipped=%d", cps, skipped)
+	}
+
+	// An empty checkpoint is refused at the source.
+	if err := store.Write(nil); err == nil {
+		t.Error("nil checkpoint accepted")
+	}
+	if err := store.Write(&Checkpoint{}); err == nil {
+		t.Error("outcome-less checkpoint accepted")
+	}
+}
+
+// TestLoadSkipsMisfiledCheckpoint: a checkpoint whose filename and
+// recorded shard index disagree is skipped, not merged under the wrong
+// shard.
+func TestLoadSkipsMisfiledCheckpoint(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	spec := storeSpec(t, 1)
+	store, _, _, err := OpenStore(dir, spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Write(&Checkpoint{Outcome: &core.ShardOutcome{Index: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, "shard-0000.json"), filepath.Join(dir, "shard-0001.json")); err != nil {
+		t.Fatal(err)
+	}
+	_, cps, skipped, err := OpenStore(dir, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 0 || skipped != 1 {
+		t.Fatalf("misfiled checkpoint: cps=%d skipped=%d, want 0/1", len(cps), skipped)
+	}
+}

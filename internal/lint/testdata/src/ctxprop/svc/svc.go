@@ -62,3 +62,46 @@ func PumpCtx(ctx context.Context, in <-chan int, out chan<- int) {
 func Acquire(sem chan struct{}) { // want `svc\.Acquire is on a blocking path to a bare struct\{\}-channel send \(semaphore acquire\) without a context\.Context parameter`
 	sem <- struct{}{}
 }
+
+// Heartbeat writes a keepalive frame but gives its caller no way to
+// abandon a stuck socket.
+func Heartbeat(conn net.Conn) error { // want `svc\.Heartbeat is on a blocking path to net\.Write without a context\.Context parameter: svc\.Heartbeat → net\.Write`
+	_, err := conn.Write([]byte("beat"))
+	return err
+}
+
+// HeartbeatCtx is the compliant twin: the wire codec shape, ctx
+// threaded to the blocking write.
+func HeartbeatCtx(ctx context.Context, conn net.Conn) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_, err := conn.Write([]byte("beat"))
+	return err
+}
+
+// LeaseWait is a coordinator-style grant loop: it parks on a wake
+// broadcast with a cancellation case, so both rules stay quiet.
+func LeaseWait(ctx context.Context, wake <-chan struct{}, grant func() bool) bool {
+	for {
+		if grant() {
+			return true
+		}
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
+// HeartbeatLoop ticks forever: nothing can stop the select from the
+// outside, the exact leak a dead lease leaves behind.
+func HeartbeatLoop(tick <-chan int, beat func()) {
+	for {
+		select { // want `select loop in svc\.HeartbeatLoop has no cancellation case`
+		case <-tick:
+			beat()
+		}
+	}
+}

@@ -5,6 +5,7 @@ package srv
 
 import (
 	"encoding/binary"
+	"io"
 	"net"
 )
 
@@ -30,4 +31,37 @@ func RecvBounded(conn net.Conn) ([]byte, error) {
 		return nil, nil
 	}
 	return make([]byte, n), nil
+}
+
+// FrameAlloc is the torn frame codec: a length word read off the wire
+// sizes the payload buffer with no cap between them.
+func FrameAlloc(conn net.Conn) ([]byte, error) {
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	payload := make([]byte, n) // want `make sized from untrusted wire bytes without a dominating bounds guard: network read buffer → srv\.FrameAlloc`
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// FrameBounded is the length-prefixed frame codec done right — the
+// early-return cap dominates the allocation (the distsurvey shape).
+func FrameBounded(conn net.Conn) ([]byte, error) {
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n == 0 || n > 1<<20 {
+		return nil, nil
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
 }

@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// This file adds a byte-stream fabric to the simulated network: named
+// in-memory listeners over net.Pipe, implementing net.Listener /
+// net.Conn so code written against real loopback TCP (the distributed
+// survey's coordinator and workers) runs unchanged. Its reason to
+// exist is deterministic fault injection — cut a connection after
+// exactly N client-written bytes, or kill it outright — failures real
+// sockets only produce probabilistically.
+
+// StreamNet is a registry of named in-memory stream listeners.
+type StreamNet struct {
+	mu        sync.Mutex
+	listeners map[string]*StreamListener
+}
+
+// NewStreamNet creates an empty stream fabric.
+func NewStreamNet() *StreamNet {
+	return &StreamNet{listeners: make(map[string]*StreamListener)}
+}
+
+// Listen claims name and returns its listener. A second claim of a
+// live name fails; closing the listener releases it.
+func (n *StreamNet) Listen(name string) (*StreamListener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[name]; ok {
+		return nil, fmt.Errorf("netsim: stream listener %q already bound", name)
+	}
+	l := &StreamListener{
+		net:  n,
+		name: name,
+		ch:   make(chan net.Conn),
+		done: make(chan struct{}),
+	}
+	n.listeners[name] = l
+	return l, nil
+}
+
+// DialStream connects to the named listener. The returned conn is the
+// client end; opts arm fault injection on it.
+func (n *StreamNet) DialStream(ctx context.Context, name string, opts ...StreamDialOption) (net.Conn, error) {
+	n.mu.Lock()
+	l := n.listeners[name]
+	n.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("netsim: no stream listener %q", name)
+	}
+	cli, srv := net.Pipe()
+	select {
+	case l.ch <- srv:
+	case <-l.done:
+		_ = cli.Close() // refused: nothing was exchanged yet
+		_ = srv.Close()
+		return nil, net.ErrClosed
+	case <-ctx.Done():
+		_ = cli.Close() // refused: nothing was exchanged yet
+		_ = srv.Close()
+		return nil, ctx.Err()
+	}
+	conn := net.Conn(cli)
+	for _, opt := range opts {
+		conn = opt(conn)
+	}
+	return conn, nil
+}
+
+// StreamDialOption wraps the client end of a dialed stream conn.
+type StreamDialOption func(net.Conn) net.Conn
+
+// WithWriteLimit cuts the connection after exactly n client-written
+// bytes: the nth byte is delivered, everything after is lost and both
+// ends see a dead conn — a process dying mid-frame, deterministically.
+func WithWriteLimit(n int) StreamDialOption {
+	return func(c net.Conn) net.Conn {
+		return &limitConn{Conn: c, remaining: n}
+	}
+}
+
+// limitConn enforces a total write budget, closing the underlying pipe
+// the moment the budget is exhausted.
+type limitConn struct {
+	net.Conn
+	mu        sync.Mutex
+	remaining int
+}
+
+// Write delivers at most the remaining budget, then kills the conn.
+//
+//repro:ctxexempt net.Conn implementation: cancellation reaches pipes via deadlines/Close, not parameters
+func (c *limitConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	remaining := c.remaining
+	c.mu.Unlock()
+	if remaining <= 0 {
+		_ = c.Conn.Close() // budget spent: the conn is already dead
+		return 0, io.ErrClosedPipe
+	}
+	if len(p) > remaining {
+		n, err := c.Conn.Write(p[:remaining])
+		c.mu.Lock()
+		c.remaining = 0
+		c.mu.Unlock()
+		_ = c.Conn.Close() // cut mid-frame: the peer sees EOF
+		if err == nil {
+			err = io.ErrClosedPipe
+		}
+		return n, err
+	}
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.remaining -= n
+	c.mu.Unlock()
+	return n, err
+}
+
+// StreamListener implements net.Listener over the fabric.
+type StreamListener struct {
+	net  *StreamNet
+	name string
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+// Accept waits for the next dialed connection.
+func (l *StreamListener) Accept() (net.Conn, error) {
+	select {
+	case conn := <-l.ch:
+		return conn, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close releases the name and unblocks Accept and pending dials.
+func (l *StreamListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.name)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr returns the listener's name as a synthetic address.
+func (l *StreamListener) Addr() net.Addr { return streamAddr(l.name) }
+
+type streamAddr string
+
+func (a streamAddr) Network() string { return "netsim-stream" }
+func (a streamAddr) String() string  { return string(a) }

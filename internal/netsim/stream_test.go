@@ -1,0 +1,132 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestStreamDialAndEcho: the fabric behaves like a net.Listener pair.
+func TestStreamDialAndEcho(t *testing.T) {
+	sn := NewStreamNet()
+	ln, err := sn.Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		_, _ = conn.Write(buf)
+	}()
+
+	conn, err := sn.DialStream(context.Background(), "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echoed %q", buf)
+	}
+}
+
+// TestStreamWriteLimit pins the fault-injection contract: the peer
+// receives exactly the budgeted bytes, then reads EOF — a partial
+// frame, deterministically.
+func TestStreamWriteLimit(t *testing.T) {
+	sn := NewStreamNet()
+	ln, err := sn.Listen("coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	got := make(chan []byte, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		data, _ := io.ReadAll(conn)
+		got <- data
+	}()
+
+	conn, err := sn.DialStream(context.Background(), "coord", WithWriteLimit(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("hello")); err == nil {
+		t.Fatal("over-budget write reported success")
+	}
+	data := <-got
+	if string(data) != "hel" {
+		t.Fatalf("peer received %q, want the 3-byte budget", data)
+	}
+	// The conn is dead for good: further writes fail immediately.
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatal("write on a cut conn succeeded")
+	}
+}
+
+// TestStreamLifecycle: duplicate names are refused, closed listeners
+// refuse dials and unblock Accept, and a dial with a cancelled context
+// returns promptly.
+func TestStreamLifecycle(t *testing.T) {
+	sn := NewStreamNet()
+	ln, err := sn.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sn.Listen("a"); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+
+	accepted := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		accepted <- err
+	}()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-accepted; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Accept after Close returned %v", err)
+	}
+	if _, err := sn.DialStream(context.Background(), "a"); err == nil {
+		t.Fatal("dial to a closed listener succeeded")
+	}
+
+	// The name is released: it can be rebound.
+	ln2, err := sn.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sn.DialStream(ctx, "a"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled dial returned %v", err)
+	}
+}

@@ -113,6 +113,98 @@ func TestShardCursorSharesRegistry(t *testing.T) {
 	}
 }
 
+// TestShardPlannerMatchesCursor pins the plan/execute split: executing
+// every ShardPlan standalone — and out of order — reproduces exactly
+// what the ordered cursor streams. This is the property that lets a
+// worker process generate shard N from its plan alone.
+func TestShardPlannerMatchesCursor(t *testing.T) {
+	cfg := Config{Registered: 1777, Seed: 23}
+	p, err := NewShardPlanner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := p.Plan(5)
+	if len(plans) != 5 {
+		t.Fatalf("planned %d shards, want 5", len(plans))
+	}
+	// Plans tile the universe contiguously and carry monotone ordinals.
+	off := 0
+	for i, pl := range plans {
+		if pl.Index != i || pl.Offset != off || pl.Size <= 0 {
+			t.Fatalf("plan %d = %+v, want index %d offset %d", i, pl, i, off)
+		}
+		off += pl.Size
+	}
+	if off != cfg.Registered {
+		t.Fatalf("plans cover %d of %d domains", off, cfg.Registered)
+	}
+
+	want, _ := collectShards(t, cfg, 5)
+	// Execute in reverse order: shard generation must not depend on its
+	// siblings having run.
+	got := make([]DomainSpec, cfg.Registered)
+	for i := len(plans) - 1; i >= 0; i-- {
+		shard, err := p.GenerateShard(plans[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(got[shard.Offset:], shard.Universe.Domains)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("domain %d differs under out-of-order execution: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardPlannerNSEC3Ordinals cross-checks the planner's replayed
+// NSEC3 ordinal against the domains actually generated.
+func TestShardPlannerNSEC3Ordinals(t *testing.T) {
+	cfg := Config{Registered: 900, Seed: 5}
+	p, err := NewShardPlanner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := p.Plan(4)
+	seen := 0
+	for _, pl := range plans {
+		if pl.NSEC3Start != seen {
+			t.Fatalf("plan %d NSEC3Start = %d, want %d", pl.Index, pl.NSEC3Start, seen)
+		}
+		shard, err := p.GenerateShard(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range shard.Universe.Domains {
+			if shard.Universe.Domains[i].NSEC3 {
+				seen++
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("universe generated no NSEC3 domains; test is vacuous")
+	}
+}
+
+// TestShardPlannerRejectsBadPlan: a plan outside the universe is a
+// typed refusal, not a panic — the distributed path feeds plans in
+// from the wire.
+func TestShardPlannerRejectsBadPlan(t *testing.T) {
+	p, err := NewShardPlanner(Config{Registered: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []ShardPlan{
+		{Index: 0, Offset: -1, Size: 10},
+		{Index: 0, Offset: 90, Size: 20},
+		{Index: 0, Offset: 0, Size: -1},
+	} {
+		if _, err := p.GenerateShard(bad); err == nil {
+			t.Errorf("plan %+v accepted", bad)
+		}
+	}
+}
+
 func TestShardCursorRejectsBadConfig(t *testing.T) {
 	if _, err := NewShardCursor(Config{Registered: 0}, 1); err == nil {
 		t.Error("zero size accepted")
