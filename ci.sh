@@ -117,6 +117,20 @@ grep -q '^distsurvey_workers_connected_total 2$' "$DSNAP"
 ls "$DIST_STATE"/shard-*.json >/dev/null || { echo "no shard checkpoints written"; exit 1; }
 echo "distributed survey smoke OK (coordinator $COORD_ADDR)"
 
+echo "== statewalk smoke (differential state-machine walk, fixed seed) =="
+# Every (topology × profile) cell through the real resolver, diffed
+# against the expectation model. Any unexplained divergence exits
+# nonzero; the NDJSON report is kept as a CI artifact for triage.
+"$SMOKE_DIR/repro" -statewalk -seed 7 -statewalk-out statewalk-report.ndjson \
+  > "$SMOKE_DIR/statewalk.log" || { cat "$SMOKE_DIR/statewalk.log"; exit 1; }
+SW_CELLS=$(sed -n 's/^  cells executed  *\([0-9]*\)$/\1/p' "$SMOKE_DIR/statewalk.log")
+[ -n "$SW_CELLS" ] && [ "$SW_CELLS" -ge 200 ] || {
+  echo "statewalk ran ${SW_CELLS:-0} cells, want >= 200"
+  cat "$SMOKE_DIR/statewalk.log"
+  exit 1
+}
+echo "statewalk smoke OK ($SW_CELLS cells, report in statewalk-report.ndjson)"
+
 echo "== reprolint self-check (golden fixtures) =="
 # Replays every analyzer's golden fixture and publishes the per-analyzer
 # JSON report (findings, want-marker mismatches, timing) as an artifact.

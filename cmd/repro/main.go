@@ -52,6 +52,12 @@ func run() error {
 		tlds     = flag.Bool("tlds", false, "§5.1 TLD statistics")
 		fig3     = flag.Bool("fig3", false, "Figure 3 + §5.2 resolver stats")
 		timeline = flag.Bool("timeline", false, "§6 future work: compliance over the 2020–2024 migrations")
+
+		statewalk       = flag.Bool("statewalk", false, "differential state-machine walk: every (topology × profile) cell vs the expectation model")
+		statewalkBudget = flag.Int("statewalk-budget", 0, "statewalk: bound the enumeration to this many cells (0 = all)")
+		statewalkOut    = flag.String("statewalk-out", "statewalk.ndjson", "statewalk: write divergence records to this NDJSON file")
+		statewalkCells  = flag.Bool("statewalk-cells", false, "statewalk: record every cell, not just divergences")
+		statewalkCorpus = flag.String("statewalk-corpus", "", "statewalk: write fuzz-corpus seeds minimized from unexplained divergences under this directory")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		shards   = flag.Int("shards", 1, "stream the domain survey in this many bounded shards (same results at any value)")
 		signing  = flag.String("signing", "lazy", "zone signing mode for the survey: lazy (sign on first query) or eager (sign at deploy); same results either way")
@@ -68,7 +74,7 @@ func run() error {
 		leaseTTL   = flag.Duration("lease-ttl", 0, "coordinator: re-lease shards from workers silent this long (default 10s)")
 	)
 	flag.Parse()
-	if !(*table1 || *fig1 || *fig2 || *table2 || *tlds || *fig3 || *timeline) {
+	if !(*table1 || *fig1 || *fig2 || *table2 || *tlds || *fig3 || *timeline || *statewalk) {
 		*all = true
 	}
 	var signingMode core.SigningMode
@@ -126,6 +132,19 @@ func run() error {
 			table2: *all || *table2,
 			tlds:   *all || *tlds,
 		})
+	}
+
+	if *statewalk {
+		if err := runStatewalk(ctx, statewalkOptions{
+			seed:      *seed,
+			budget:    *statewalkBudget,
+			out:       *statewalkOut,
+			emitCells: *statewalkCells,
+			corpusDir: *statewalkCorpus,
+			obs:       reg,
+		}); err != nil {
+			return err
+		}
 	}
 
 	if *all || *table1 {

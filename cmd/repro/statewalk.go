@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/scanner"
+	"repro/internal/statewalk"
+)
+
+// statewalkOptions carries the -statewalk* flags.
+type statewalkOptions struct {
+	seed      uint64
+	budget    int
+	out       string
+	emitCells bool
+	corpusDir string
+	obs       *obs.Registry
+}
+
+// runStatewalk executes the differential state-machine walk and prints
+// its summary. Unexplained divergences are an error: either the
+// resolver or the expectation model is wrong, and CI must not pass
+// until the discrepancy is fixed or documented in Explain.
+func runStatewalk(ctx context.Context, o statewalkOptions) error {
+	fmt.Printf("== Running the differential state-machine walk (seed %d)…\n\n", o.seed)
+	f, err := os.Create(o.out)
+	if err != nil {
+		return err
+	}
+	// Records are flushed line-by-line by the encoder; Close only
+	// releases the descriptor.
+	defer func() { _ = f.Close() }()
+
+	sum, err := statewalk.Run(ctx, statewalk.Config{
+		Seed:      o.seed,
+		Limit:     o.budget,
+		EmitCells: o.emitCells,
+		Out:       scanner.NewEncoder(f),
+		Obs:       o.obs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("==== Differential state-machine walk (topology × profile vs expectation model)")
+	fmt.Printf("  topologies enumerated             %6d\n", sum.Topologies)
+	fmt.Printf("  resolver profiles                 %6d\n", sum.Profiles)
+	fmt.Printf("  cells executed                    %6d\n", sum.Cells)
+	fmt.Printf("  divergences                       %6d  (report: %s)\n", sum.Divergences, o.out)
+	fmt.Printf("  unexplained                       %6d\n\n", sum.Unexplained)
+
+	if o.corpusDir != "" && len(sum.Seeds) > 0 {
+		if err := statewalk.WriteSeeds(o.corpusDir, sum.Seeds); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %d fuzz-corpus seeds under %s\n\n", len(sum.Seeds), o.corpusDir)
+	}
+	if sum.Unexplained > 0 {
+		return fmt.Errorf("statewalk: %d unexplained divergences (see %s)", sum.Unexplained, o.out)
+	}
+	return nil
+}

@@ -112,16 +112,19 @@ func TestRunSelfCheck(t *testing.T) {
 // TestRunCleanCtxPropTargets pins the interprocedural fixes on the real
 // tree: the packages rewired to thread context (atlas's probe path into
 // testbed/netsim/authserver, and respop) plus the distributed-survey
-// wire path (distsurvey's codec, coordinator, and worker loops) stay
-// clean under the full suite, call graph included. A regression that
-// drops a ctx parameter, reintroduces context.Background() in library
-// code, or un-guards the frame codec's length word fails here.
+// wire path (distsurvey's codec, coordinator, and worker loops) and the
+// statewalk differential runner (ctx-guarded semaphore acquire, joined
+// workers) stay clean under the full suite, call graph included. A
+// regression that drops a ctx parameter, reintroduces
+// context.Background() in library code, or un-guards the frame codec's
+// length word fails here.
 func TestRunCleanCtxPropTargets(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	code := run([]string{
 		"../../internal/atlas", "../../internal/respop",
 		"../../internal/netsim", "../../internal/authserver",
 		"../../internal/testbed", "../../internal/distsurvey",
+		"../../internal/statewalk",
 	}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())

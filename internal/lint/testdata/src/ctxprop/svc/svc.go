@@ -63,6 +63,17 @@ func Acquire(sem chan struct{}) { // want `svc\.Acquire is on a blocking path to
 	sem <- struct{}{}
 }
 
+// AcquireCtx is the compliant twin: the worker-pool acquire loop shape
+// (a select whose other arm is ctx.Done), which must stay quiet.
+func AcquireCtx(ctx context.Context, sem chan struct{}) bool {
+	select {
+	case sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // Heartbeat writes a keepalive frame but gives its caller no way to
 // abandon a stuck socket.
 func Heartbeat(conn net.Conn) error { // want `svc\.Heartbeat is on a blocking path to net\.Write without a context\.Context parameter: svc\.Heartbeat → net\.Write`

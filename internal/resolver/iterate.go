@@ -200,7 +200,10 @@ func (r *Resolver) resolveUncached(ctx context.Context, qname dnswire.Name, qtyp
 		Status: status,
 		AD:     status == StatusSecure,
 	}
-	if r.cfg.Policy.NoNegativeAD && msg.Header.RCode == dnswire.RCodeNXDomain {
+	if r.cfg.Policy.NoNegativeAD && (msg.Header.RCode == dnswire.RCodeNXDomain || len(msg.Answers) == 0) {
+		// Negative responses never carry AD for this profile: NXDOMAIN
+		// and NODATA alike (the statewalk NODATA topologies caught the
+		// NODATA half missing).
 		res.AD = false
 	}
 	if status == StatusSecure && msg.Header.RCode == dnswire.RCodeNXDomain {
@@ -227,11 +230,22 @@ func (r *Resolver) resolveUncached(ctx context.Context, qname dnswire.Name, qtyp
 		res.Answers = append(res.Answers, chained.Answers...)
 		res.Authority = chained.Authority
 		if chained.Status == StatusBogus || chained.RCode == dnswire.RCodeServFail {
-			return r.servfail(false), 30, nil
+			// The alias owner cannot mask why the target failed: keep
+			// the chained EDE (e.g. the iteration-limit code when the
+			// target zone's denial exceeded ServfailLimit).
+			sf := r.servfail(false)
+			sf.EDE = append(sf.EDE, chained.EDE...)
+			return sf, 30, nil
 		}
 		// The chain is only as secure as its weakest link.
 		if chained.Status != StatusSecure {
 			res.Status = chained.Status
+			res.AD = false
+		}
+		// Re-apply the negative-AD policy to the post-chase RCODE: an
+		// alias chain ending in NXDOMAIN is a negative answer even
+		// though the first hop was positive.
+		if r.cfg.Policy.NoNegativeAD && res.RCode == dnswire.RCodeNXDomain {
 			res.AD = false
 		}
 		res.EDE = append(res.EDE, chained.EDE...)

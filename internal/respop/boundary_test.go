@@ -1,0 +1,157 @@
+package respop
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+	"repro/internal/nsec3"
+	"repro/internal/resolver"
+	"repro/internal/testbed"
+	"repro/internal/zone"
+)
+
+// boundaryCounts collects, across every profile, the iteration counts
+// sitting exactly at and one above each documented limit — the
+// off-by-one pins.
+func boundaryCounts() []uint16 {
+	seen := map[uint16]bool{}
+	var out []uint16
+	add := func(limit int) {
+		for _, c := range []int{limit, limit + 1} {
+			if c >= 0 && c <= 0xFFFF && !seen[uint16(c)] {
+				seen[uint16(c)] = true
+				out = append(out, uint16(c))
+			}
+		}
+	}
+	for _, p := range Profiles() {
+		if p.Policy.InsecureLimit != resolver.NoLimit {
+			add(p.Policy.InsecureLimit)
+		}
+		if p.Policy.ServfailLimit != resolver.NoLimit {
+			add(p.Policy.ServfailLimit)
+		}
+	}
+	return out
+}
+
+// buildBoundaryWorld signs one "it<N>.test" NSEC3 zone per boundary
+// count, all on one leaf server.
+func buildBoundaryWorld(t testing.TB, counts []uint16) *testbed.Hierarchy {
+	t.Helper()
+	b := testbed.NewBuilder(1709251200, 1717200000)
+	b.AddZone(testbed.ZoneSpec{
+		Apex:   dnswire.Root,
+		Sign:   zone.SignConfig{Denial: zone.DenialNSEC},
+		Server: netsim.Addr4(198, 41, 0, 4),
+	})
+	b.AddZone(testbed.ZoneSpec{
+		Apex:   dnswire.MustParseName("test"),
+		Sign:   zone.SignConfig{Denial: zone.DenialNSEC3},
+		Server: netsim.Addr4(192, 5, 6, 53),
+	})
+	leaf := netsim.Addr4(203, 0, 113, 77)
+	for _, c := range counts {
+		b.AddZone(testbed.ZoneSpec{
+			Apex:   dnswire.MustParseName(fmt.Sprintf("it%d.test", c)),
+			Server: leaf,
+			Sign:   zone.SignConfig{Denial: zone.DenialNSEC3, NSEC3: nsec3.Params{Iterations: c}},
+			Populate: func(z *zone.Zone) {
+				z.MustAdd(dnswire.RR{Name: z.Apex.MustChild("www"), Class: dnswire.ClassIN, TTL: 300,
+					Data: dnswire.A{Addr: leaf.Addr()}})
+			},
+		})
+	}
+	h, err := b.Build(netsim.NewNetwork(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// expectedAt replays the documented policy semantics at one count: the
+// test is meaningful because it only probes exactly L and L+1, so any
+// off-by-one in the resolver's comparisons flips an assertion.
+func expectedAt(p resolver.Policy, iters int) (dnswire.RCode, bool, dnswire.EDECode) {
+	if p.ServfailLimit != resolver.NoLimit && iters > p.ServfailLimit {
+		return dnswire.RCodeServFail, false, p.EDE
+	}
+	if p.InsecureLimit != resolver.NoLimit && iters > p.InsecureLimit {
+		return dnswire.RCodeNXDomain, false, p.EDE
+	}
+	return dnswire.RCodeNXDomain, !p.NoNegativeAD, 0
+}
+
+// TestProfileLimitBoundaries drives every limited vendor profile
+// against zones at exactly its InsecureLimit/ServfailLimit and one
+// above: validation must hold at the limit and flip one past it, with
+// the profile's EDE appearing only on the limit-decided side.
+func TestProfileLimitBoundaries(t *testing.T) {
+	counts := boundaryCounts()
+	h := buildBoundaryWorld(t, counts)
+	for _, prof := range Profiles() {
+		p := prof.Policy
+		if !p.Validate || (p.InsecureLimit == resolver.NoLimit && p.ServfailLimit == resolver.NoLimit) {
+			continue
+		}
+		var probes []int
+		if p.InsecureLimit != resolver.NoLimit {
+			probes = append(probes, p.InsecureLimit, p.InsecureLimit+1)
+		}
+		if p.ServfailLimit != resolver.NoLimit {
+			probes = append(probes, p.ServfailLimit, p.ServfailLimit+1)
+		}
+		r := resolver.New(resolver.Config{
+			Roots:       h.Roots,
+			TrustAnchor: h.TrustAnchor,
+			Exchanger:   h.Net,
+			Policy:      p,
+			Now:         func() uint32 { return 1712000000 },
+		})
+		for _, it := range probes {
+			qname := dnswire.MustParseName(fmt.Sprintf("gone.www.it%d.test", it))
+			res, err := r.Resolve(context.Background(), qname, dnswire.TypeA)
+			if err != nil {
+				t.Fatalf("%s at %d iterations: %v", p.Name, it, err)
+			}
+			wantRC, wantAD, wantEDE := expectedAt(p, it)
+			if res.RCode != wantRC || res.AD != wantAD {
+				t.Errorf("%s at %d iterations: rcode=%s ad=%v, want %s/%v",
+					p.Name, it, res.RCode, res.AD, wantRC, wantAD)
+			}
+			var gotEDE dnswire.EDECode
+			if len(res.EDE) > 0 {
+				gotEDE = res.EDE[0].Code
+			}
+			if gotEDE != wantEDE {
+				t.Errorf("%s at %d iterations: EDE=%d, want %d", p.Name, it, gotEDE, wantEDE)
+			}
+			// Technitium's EXTRA-TEXT rides along whenever its EDE does.
+			if wantEDE != 0 && p.EDEText != "" && (len(res.EDE) == 0 || res.EDE[0].Text != p.EDEText) {
+				t.Errorf("%s at %d iterations: missing EXTRA-TEXT %q", p.Name, it, p.EDEText)
+			}
+		}
+	}
+}
+
+// TestProfileEDEMatchesNote cross-checks each profile's machine policy
+// against its human documentation: a Note claiming "no EDE" (or
+// predating EDE) must pair with EDE 0, a Note naming an EDE code with a
+// nonzero one.
+func TestProfileEDEMatchesNote(t *testing.T) {
+	for _, p := range Profiles() {
+		note := strings.ToLower(p.Note)
+		saysNone := strings.Contains(note, "no ede") || strings.Contains(note, "predates ede")
+		saysSome := !saysNone && strings.Contains(note, "ede")
+		if saysNone && p.Policy.EDE != 0 {
+			t.Errorf("%s: note says no EDE but policy attaches %d", p.Policy.Name, uint16(p.Policy.EDE))
+		}
+		if saysSome && p.Policy.EDE == 0 {
+			t.Errorf("%s: note documents an EDE but policy attaches none", p.Policy.Name)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package statewalk
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/scanner"
+)
+
+// TestEnumerateIndexPure pins the enumerator's determinism contract:
+// indices are positional, IDs unique, repeated calls identical.
+func TestEnumerateIndexPure(t *testing.T) {
+	a, b := Enumerate(), Enumerate()
+	if len(a) != len(b) {
+		t.Fatalf("Enumerate length changed between calls: %d vs %d", len(a), len(b))
+	}
+	ids := make(map[string]int)
+	for i, tp := range a {
+		if tp.Index != i {
+			t.Errorf("Enumerate()[%d].Index = %d", i, tp.Index)
+		}
+		if a[i] != b[i] {
+			t.Errorf("Enumerate()[%d] differs between calls: %+v vs %+v", i, a[i], b[i])
+		}
+		if prev, dup := ids[tp.ID()]; dup {
+			t.Errorf("duplicate topology ID %q at indices %d and %d", tp.ID(), prev, i)
+		}
+		ids[tp.ID()] = i
+	}
+}
+
+// TestStatewalkNoUnexplainedDivergences is the main differential gate:
+// every (topology × profile) cell through the real resolver, zero
+// divergences the model cannot explain. The ISSUE floor is 200 cells.
+func TestStatewalkNoUnexplainedDivergences(t *testing.T) {
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	sum, err := Run(context.Background(), Config{
+		Seed: 1,
+		Out:  scanner.NewEncoder(&buf),
+		Obs:  reg,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Cells < 200 {
+		t.Fatalf("ran %d cells, want >= 200", sum.Cells)
+	}
+	if sum.Cells != sum.Topologies*sum.Profiles {
+		t.Errorf("cells %d != topologies %d × profiles %d", sum.Cells, sum.Topologies, sum.Profiles)
+	}
+	if sum.Unexplained != 0 {
+		t.Errorf("%d unexplained divergences (of %d total):\n%s",
+			sum.Unexplained, sum.Divergences, buf.String())
+	}
+	t.Logf("statewalk: %d topologies × %d profiles = %d cells, %d divergences (%d unexplained)",
+		sum.Topologies, sum.Profiles, sum.Cells, sum.Divergences, sum.Unexplained)
+}
+
+// runRange executes [offset, offset+limit) with EmitCells and returns
+// the NDJSON bytes.
+func runRange(t *testing.T, offset, limit int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	_, err := Run(context.Background(), Config{
+		Seed:      7,
+		Offset:    offset,
+		Limit:     limit,
+		EmitCells: true,
+		Out:       scanner.NewEncoder(&buf),
+	})
+	if err != nil {
+		t.Fatalf("Run(offset=%d, limit=%d): %v", offset, limit, err)
+	}
+	return buf.Bytes()
+}
+
+// TestStatewalkSplitEquivalence is the statewalk twin of
+// TestSurveyShardEquivalence: the report of [0,n) must be byte-identical
+// to the concatenation of [0,k) and [k,n), proving emission order and
+// record content are independent of range splits and worker scheduling.
+func TestStatewalkSplitEquivalence(t *testing.T) {
+	const n, k = 60, 23
+	whole := runRange(t, 0, n)
+	split := append(runRange(t, 0, k), runRange(t, k, n-k)...)
+	if !bytes.Equal(whole, split) {
+		t.Fatalf("split-range report differs from whole-range report:\nwhole:\n%s\nsplit:\n%s", whole, split)
+	}
+	if len(bytes.TrimSpace(whole)) == 0 {
+		t.Fatal("EmitCells produced no records")
+	}
+	// A second whole-range run must also be byte-identical (same seed ⇒
+	// same report).
+	if again := runRange(t, 0, n); !bytes.Equal(whole, again) {
+		t.Fatal("repeated run with the same seed produced different bytes")
+	}
+}
+
+// corpusDirFor maps a fuzz target to the package testdata directory its
+// seeds are committed under.
+func corpusDirFor(target string) string {
+	switch target {
+	case "FuzzDecodeMessage":
+		return filepath.Join("..", "dnswire", "testdata", "fuzz", "FuzzDecodeMessage")
+	case "FuzzHash":
+		return filepath.Join("..", "nsec3", "testdata", "fuzz", "FuzzHash")
+	}
+	return ""
+}
+
+// TestBoundaryCorpusSeedsCommitted pins the committed fuzz-corpus seeds
+// to the minimizer's output: one FuzzDecodeMessage + one FuzzHash seed
+// per iteration-limit boundary topology. Regenerate with
+// STATEWALK_WRITE_CORPUS=1 after changing the minimizer.
+func TestBoundaryCorpusSeedsCommitted(t *testing.T) {
+	seeds, err := BoundarySeeds()
+	if err != nil {
+		t.Fatalf("BoundarySeeds: %v", err)
+	}
+	if want := 2 * len(BoundaryIterations); len(seeds) != want {
+		t.Fatalf("got %d seeds, want %d", len(seeds), want)
+	}
+	if os.Getenv("STATEWALK_WRITE_CORPUS") == "1" {
+		for _, s := range seeds {
+			if err := WriteSeeds(filepath.Dir(corpusDirFor(s.Target)), []CorpusSeed{s}); err != nil {
+				t.Fatalf("writing %s/%s: %v", s.Target, s.Name, err)
+			}
+		}
+	}
+	for _, s := range seeds {
+		path := filepath.Join(corpusDirFor(s.Target), s.Name)
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("committed corpus seed missing (run with STATEWALK_WRITE_CORPUS=1 to generate): %v", err)
+		}
+		if !bytes.Equal(got, s.Body) {
+			t.Errorf("%s drifted from the minimizer's output", path)
+		}
+	}
+}
+
+// TestSeedsForTopologyDeterministic guards the corpus encoder: seed
+// bytes are a pure function of the topology.
+func TestSeedsForTopologyDeterministic(t *testing.T) {
+	for _, tp := range Enumerate() {
+		if tp.Shape != ShapeSecureNX {
+			continue
+		}
+		a, err := SeedsForTopology(tp)
+		if err != nil {
+			t.Fatalf("SeedsForTopology(%s): %v", tp.ID(), err)
+		}
+		b, _ := SeedsForTopology(tp)
+		for i := range a {
+			if a[i].Target != b[i].Target || a[i].Name != b[i].Name || !bytes.Equal(a[i].Body, b[i].Body) {
+				t.Errorf("%s seed %d not deterministic", tp.ID(), i)
+			}
+			if !bytes.HasPrefix(a[i].Body, []byte("go test fuzz v1\n")) {
+				t.Errorf("%s seed %d missing go-fuzz v1 header", tp.ID(), i)
+			}
+		}
+	}
+	if _, err := SeedsForTopology(TopologySpec{Index: 99, Shape: ShapeSecureNX, Iterations: 2501}); err != nil {
+		t.Fatalf("seed for synthetic boundary topology: %v", err)
+	}
+}

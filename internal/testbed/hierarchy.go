@@ -45,6 +45,17 @@ type ZoneSpec struct {
 	// eligible for the builder's SignCache: keys are reused per apex
 	// and signing is skipped entirely on a content match.
 	Shared bool
+	// BreakDS corrupts the DS digest the parent publishes for this
+	// (signed) zone: the delegation points at a key that does not
+	// exist, so the chain of trust is verifiably broken — validators
+	// must go bogus, not insecure.
+	BreakDS bool
+	// OmitDS withholds the DS from the parent even though the zone is
+	// signed: the parent's authenticated denial of DS makes the
+	// delegation provably insecure and the child's DNSSEC material is
+	// never validated (an "insecure island" when the child has secure
+	// descendants of its own).
+	OmitDS bool
 	// Server is the address the zone's authoritative server listens
 	// on. Zones may share a server.
 	Server netip.AddrPort
@@ -239,6 +250,28 @@ func (b *Builder) signConfig(spec *ZoneSpec) zone.SignConfig {
 	return cfg
 }
 
+// publishedDS applies the spec's delegation-sabotage options to the DS
+// the parent would publish: OmitDS withholds it, BreakDS flips a digest
+// byte so it matches no real key. The child's own keys and signatures
+// are untouched — only the parent's view of them changes.
+func (s *ZoneSpec) publishedDS(ds *dnswire.DS) *dnswire.DS {
+	if ds == nil || s.Unsigned {
+		return ds
+	}
+	if s.OmitDS {
+		return nil
+	}
+	if s.BreakDS {
+		broken := *ds
+		broken.Digest = append([]byte(nil), ds.Digest...)
+		if len(broken.Digest) > 0 {
+			broken.Digest[0] ^= 0xFF
+		}
+		return &broken
+	}
+	return ds
+}
+
 // delegationRRs builds the records the parent publishes for a child:
 // NS, in-bailiwick glue, and (for signed children) the DS.
 func delegationRRs(spec *ZoneSpec, ds *dnswire.DS) []dnswire.RR {
@@ -375,6 +408,7 @@ func (b *Builder) Build(net *netsim.Network) (*Hierarchy, error) {
 			}
 			ds = &d
 		}
+		ds = spec.publishedDS(ds)
 		if parent, ok := b.parentOf(spec.Apex); ok {
 			rrs := delegationRRs(spec, ds)
 			if prec, ok := lazyRecs[parent.Apex]; ok {
