@@ -23,6 +23,16 @@ go test -run='^$' -fuzz=FuzzHash -fuzztime=5s ./internal/nsec3/
 echo "== bench smoke (sharded survey, lazy + eager, 1 iteration) =="
 go test -run='^$' -bench=Survey -benchtime=1x .
 
+echo "== bench smoke (authserver QPS, -benchmem, 1 iteration) =="
+# One pass of the serving-path benchmark; the artifact records ns/op and
+# allocs/op so a serving-path allocation regression is visible in review
+# even when it sneaks past the static analyzers.
+go test -run='^$' -bench='^BenchmarkAuthServerQPS$' -benchtime=1x -benchmem . \
+  | tee authserver-qps.bench.txt
+grep -q 'allocs/op' authserver-qps.bench.txt || {
+  echo "authserver QPS bench produced no -benchmem output"; exit 1;
+}
+
 echo "== metrics smoke (authd -metrics, /healthz + /metrics) =="
 SMOKE_DIR=$(mktemp -d)
 go build -o "$SMOKE_DIR/authd" ./cmd/authd
@@ -137,6 +147,14 @@ echo "== reprolint self-check (golden fixtures) =="
 # A diagnostic drifting from its fixture markers fails this leg even if
 # the real tree stays clean.
 go run ./cmd/reprolint -selfcheck internal/lint/testdata > reprolint-selfcheck.json
+# The report must cover the full suite: spot-check that the serving-path
+# analyzers are present and that every fixture carried a timing.
+for a in hotpathalloc bufalias poolsafe; do
+  grep -q "\"analyzer\": \"$a\"" reprolint-selfcheck.json \
+    || { echo "self-check report missing analyzer $a"; exit 1; }
+done
+grep -q '"elapsed_ms"' reprolint-selfcheck.json \
+  || { echo "self-check report lacks elapsed_ms timings"; exit 1; }
 
 echo "== reprolint (baseline ratchet) =="
 # The baseline is the tolerated-findings ratchet. MAX_BASELINE pins the

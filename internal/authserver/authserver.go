@@ -166,8 +166,12 @@ func (s *Server) Zones() []dnswire.Name {
 	return out
 }
 
-// Handle implements netsim.Handler.
-func (s *Server) Handle(ctx context.Context, from netip.AddrPort, query *dnswire.Message) *dnswire.Message {
+// newResponse builds the response skeleton for a query: header echo,
+// question echo, and the EDNS OPT reply when the query carried one.
+// It reports whether the query requested DNSSEC records (DO).
+//
+//repro:allocok one response Message per query is the Handler contract; the ROADMAP answer cache replaces this with precompiled wire images
+func (s *Server) newResponse(query *dnswire.Message) (*dnswire.Message, bool) {
 	resp := &dnswire.Message{
 		Header: dnswire.Header{
 			ID:               query.Header.ID,
@@ -185,6 +189,31 @@ func (s *Server) Handle(ctx context.Context, from netip.AddrPort, query *dnswire
 			DO:      do,
 		}).AsRR())
 	}
+	return resp, do
+}
+
+// finishAnswer copies an evaluated zone answer into the response
+// sections, keeping the OPT (already in resp.Additional) last. The
+// section slices are handed over wholesale — the merge itself does not
+// allocate; growth of ans.Additional is charged to the evaluator that
+// built it.
+func finishAnswer(resp *dnswire.Message, ans *zone.Answer) *dnswire.Message {
+	resp.Header.RCode = ans.RCode
+	resp.Header.Authoritative = ans.Kind != zone.KindDelegation && ans.Kind != zone.KindNotInZone
+	resp.Answers = ans.Answer
+	resp.Authority = ans.Authority
+	resp.Additional = append(ans.Additional, resp.Additional...)
+	return resp
+}
+
+// Handle implements netsim.Handler: validate, route to the deepest
+// hosted zone, evaluate, shape the wire response. Everything on this
+// path runs once per query, so routing itself must not allocate;
+// answer assembly is explicitly waived pending the answer cache.
+//
+//repro:hotpath every authoritative answer — testbed surveys, resolver studies, authd — dispatches through here
+func (s *Server) Handle(ctx context.Context, from netip.AddrPort, query *dnswire.Message) *dnswire.Message {
+	resp, do := s.newResponse(query)
 	if query.Header.Opcode != dnswire.OpcodeQuery || len(query.Questions) != 1 {
 		resp.Header.RCode = dnswire.RCodeNotImp
 		return resp
@@ -215,17 +244,14 @@ func (s *Server) Handle(ctx context.Context, from netip.AddrPort, query *dnswire
 		resp.Header.RCode = dnswire.RCodeServFail
 		return resp
 	}
-	resp.Header.RCode = ans.RCode
-	resp.Header.Authoritative = ans.Kind != zone.KindDelegation && ans.Kind != zone.KindNotInZone
-	resp.Answers = ans.Answer
-	resp.Authority = ans.Authority
-	resp.Additional = append(ans.Additional, resp.Additional...)
-	return resp
+	return finishAnswer(resp, ans)
 }
 
 // handleAXFR answers a zone transfer request (RFC 5936): the complete
 // signed zone between two copies of the apex SOA, or REFUSED when the
 // zone's transfer policy (the default) forbids it.
+//
+//repro:allocok AXFR materializes the whole zone by definition; bulk transfer is not the per-packet serving path
 func (s *Server) handleAXFR(resp *dnswire.Message, sz *zone.Signed, qname dnswire.Name) *dnswire.Message {
 	if qname != sz.Zone.Apex {
 		resp.Header.RCode = dnswire.RCodeNotImp

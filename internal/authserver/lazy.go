@@ -91,6 +91,7 @@ func (s *Server) LazyStats() (materialized, pending int) {
 // failed to sign keeps answering ServFail rather than retrying).
 //
 //repro:nondeterministic sign-wait timing is telemetry (authserver_sign_wait_ns), never response content
+//repro:allocok first-query zone materialization is the lazy-signing cold path; every later query takes the eager-map hit-free route
 func (s *Server) materialize(ctx context.Context, lz *lazyZone) (*zone.Signed, error) {
 	var start time.Time
 	if s.mSignWait != nil {

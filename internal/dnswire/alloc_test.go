@@ -1,0 +1,121 @@
+package dnswire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// TestNameEncodeAllocFree pins the hot encode path: AppendWire into a
+// buffer with spare capacity must not allocate. The //repro:hotpath
+// annotation on PackBuffer is enforced statically by hotpathalloc;
+// this test enforces the same contract dynamically, so a regression
+// the analyzer's conservative rules happen to miss still fails here.
+func TestNameEncodeAllocFree(t *testing.T) {
+	name := MustParseName("a.long-ish.label.chain.example.org.")
+	buf := make([]byte, 0, MaxNameWireLen)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = name.AppendWire(buf[:0])
+	}); n != 0 {
+		t.Errorf("Name.AppendWire into spare capacity allocates %.1f times per run, want 0", n)
+	}
+}
+
+// TestNameDecodeSingleAlloc pins the decode floor: a decoded Name owns
+// its memory by contract, so readName pays exactly one allocation —
+// the interned string — and nothing else (the presentation form is
+// built in a stack buffer).
+func TestNameDecodeSingleAlloc(t *testing.T) {
+	name := MustParseName("a.long-ish.label.chain.example.org.")
+	wire := name.AppendWire(nil)
+	if n := testing.AllocsPerRun(200, func() {
+		if _, _, err := readName(wire, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 1 {
+		t.Errorf("readName allocates %.1f times per run, want exactly 1 (the interned Name)", n)
+	}
+
+	// The root name is the Root constant: zero allocations.
+	rootWire := Root.AppendWire(nil)
+	if n := testing.AllocsPerRun(200, func() {
+		if _, _, err := readName(rootWire, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("readName of the root allocates %.1f times per run, want 0", n)
+	}
+}
+
+// TestPackBufferAllocFree pins the full message encode path: rendering
+// a response into a caller-provided buffer with a warmed encoder pool
+// must not allocate.
+func TestPackBufferAllocFree(t *testing.T) {
+	q := MustParseName("www.example.org.")
+	msg := &Message{
+		Header:    Header{ID: 1, Response: true},
+		Questions: []Question{{Name: q, Type: TypeA, Class: ClassIN}},
+		Answers: []RR{{
+			Name: q, Class: ClassIN, TTL: 300,
+			Data: &A{Addr: netip.MustParseAddr("192.0.2.1")},
+		}},
+	}
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; steady-state alloc counts are nondeterministic")
+	}
+	dst := make([]byte, 0, 512)
+	// Warm the encoder pool so the measurement sees steady state.
+	if _, err := msg.PackBuffer(dst, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := msg.PackBuffer(dst[:0], 0, true); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("PackBuffer into a caller-provided buffer allocates %.1f times per run, want 0", n)
+	}
+}
+
+// TestUnpackOwnsItsMemory pins the contract the pooled UDP read loop
+// depends on: no field of an unpacked Message aliases the input
+// buffer, so the serve loop may return the read buffer to its pool the
+// moment Unpack returns — even while the handler, running on another
+// goroutine, still holds the Message. The scribble below simulates the
+// pool handing the buffer to the next packet.
+func TestUnpackOwnsItsMemory(t *testing.T) {
+	name := MustParseName("alias.check.example.org.")
+	msg := &Message{
+		Header:    Header{ID: 42, Response: true},
+		Questions: []Question{{Name: name, Type: TypeTXT, Class: ClassIN}},
+		Answers: []RR{
+			{Name: name, Class: ClassIN, TTL: 300, Data: TXT{Strings: []string{"payload"}}},
+			{Name: name, Class: ClassIN, TTL: 300, Data: NSEC3PARAM{
+				HashAlg: NSEC3HashSHA1, Iterations: 5, Salt: []byte{0xde, 0xad, 0xbe, 0xef},
+			}},
+		},
+	}
+	wire, err := msg.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wire {
+		wire[i] = 0xFF
+	}
+	if got.Question().Name != name {
+		t.Errorf("question name aliased the read buffer: %q", got.Question().Name)
+	}
+	if got.Answers[0].Name != name {
+		t.Errorf("answer owner aliased the read buffer: %q", got.Answers[0].Name)
+	}
+	if s := got.Answers[0].Data.(TXT).Strings[0]; s != "payload" {
+		t.Errorf("TXT payload aliased the read buffer: %q", s)
+	}
+	p := got.Answers[1].Data.(NSEC3PARAM)
+	if len(p.Salt) != 4 || p.Salt[0] != 0xde || p.Salt[3] != 0xef {
+		t.Errorf("NSEC3PARAM salt aliased the read buffer: %x", p.Salt)
+	}
+}

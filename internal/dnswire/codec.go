@@ -3,14 +3,34 @@ package dnswire
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
-// encoder accumulates a wire-format message. When table is non-nil,
+// encoder accumulates a wire-format message. When compress is set,
 // eligible names are compressed with pointers into the already-written
 // prefix of buf (offsets must fit 14 bits).
+//
+// Encoders are pooled: packCounts checks one out per message and
+// releaseEncoder returns it with the compression table cleared, so the
+// steady-state encode path allocates neither the struct nor the map.
 type encoder struct {
-	buf   []byte
-	table map[Name]int // name -> absolute offset of its first encoding
+	buf      []byte
+	table    map[Name]int // name -> absolute offset of its first encoding
+	compress bool
+}
+
+var encPool = sync.Pool{
+	New: func() any { return &encoder{table: make(map[Name]int, 16)} },
+}
+
+// releaseEncoder returns a checked-out encoder to the pool. The buffer
+// is caller memory and must not survive the Put; the table is cleared
+// so a recycled encoder never compresses against a previous message.
+func releaseEncoder(e *encoder) {
+	e.buf = nil
+	clear(e.table)
+	e.compress = false
+	encPool.Put(e)
 }
 
 func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
@@ -18,18 +38,24 @@ func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v
 
 // name encodes n, compressing when allowed and profitable. Compression
 // works per-suffix: each tail of the name may independently point at an
-// earlier occurrence.
+// earlier occurrence. A suffix of a normalized Name starting at a label
+// boundary is itself a normalized Name, so suffixes are string slices
+// of n — no label splitting, no per-suffix rebuild.
+//
+//repro:allocok the compression table write is the one unavoidable map insert of the encode path; the table itself is pooled
 func (e *encoder) name(n Name, compressible bool) {
-	if e.table == nil || !compressible {
+	if !e.compress || !compressible {
 		e.buf = appendName(e.buf, n)
 		return
 	}
-	labels := n.Labels()
-	for i := range labels {
-		suffix, err := fromLabels(labels[i:])
-		if err != nil {
-			panic(err) // labels came from a valid Name
+	s := string(n)
+	for pos := 0; pos < len(s); {
+		end := pos + labelEnd(s[pos:])
+		if end == pos {
+			pos = end + 1 // the root has no labels
+			continue
 		}
+		suffix := Name(s[pos:])
 		if off, ok := e.table[suffix]; ok && off < 0x4000 {
 			e.u16(0xC000 | uint16(off))
 			return
@@ -37,8 +63,8 @@ func (e *encoder) name(n Name, compressible bool) {
 		if len(e.buf) < 0x4000 {
 			e.table[suffix] = len(e.buf)
 		}
-		e.buf = append(e.buf, byte(len(labels[i])))
-		e.buf = append(e.buf, labels[i]...)
+		e.buf = appendLabelWire(e.buf, s[pos:end])
+		pos = end + 1
 	}
 	e.buf = append(e.buf, 0)
 }

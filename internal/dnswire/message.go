@@ -159,6 +159,14 @@ func (m *Message) SetExtendedRCode(rc RCode) {
 // errTruncate signals that packing exceeded the size budget.
 var errTruncate = errors.New("dnswire: message exceeds size limit")
 
+// errQuestionTooBig reports a question section that alone exceeds the
+// caller's size budget; nothing can be dropped to make it fit.
+var errQuestionTooBig = errors.New("dnswire: question alone exceeds size limit")
+
+// errRDataTooLong reports an RDATA payload that cannot be described by
+// the 16-bit RDLENGTH field.
+var errRDataTooLong = errors.New("dnswire: RDATA exceeds 65535 octets")
+
 // Pack encodes the message with name compression and no size limit.
 func (m *Message) Pack() ([]byte, error) { return m.PackBuffer(nil, 0, true) }
 
@@ -167,6 +175,8 @@ func (m *Message) Pack() ([]byte, error) { return m.PackBuffer(nil, 0, true) }
 // section from the tail, the TC bit is set, and the shortened message is
 // returned (standard UDP truncation behaviour). compress toggles name
 // compression (the ablation benches flip it).
+//
+//repro:hotpath every outbound message — authserver answers, scanner probes — is rendered here; with a caller-provided dst it must not allocate
 func (m *Message) PackBuffer(dst []byte, maxSize int, compress bool) ([]byte, error) {
 	counts := [3]int{len(m.Answers), len(m.Authority), len(m.Additional)}
 	for {
@@ -191,17 +201,17 @@ func (m *Message) PackBuffer(dst []byte, maxSize int, compress bool) ([]byte, er
 		case counts[0] > 0:
 			counts[0]--
 		default:
-			return nil, fmt.Errorf("dnswire: question alone exceeds %d octets", maxSize)
+			return nil, errQuestionTooBig
 		}
 		m.Header.Truncated = true
 	}
 }
 
 func (m *Message) packCounts(dst []byte, counts [3]int, compress bool) ([]byte, error) {
-	e := &encoder{buf: dst[:0]}
-	if compress {
-		e.table = make(map[Name]int, 16)
-	}
+	e := encPool.Get().(*encoder)
+	defer releaseEncoder(e)
+	e.buf = dst[:0]
+	e.compress = compress
 	e.u16(m.Header.ID)
 	e.u16(m.Header.flags())
 	e.u16(uint16(len(m.Questions)))
@@ -246,14 +256,18 @@ func packRR(e *encoder, rr RR) error {
 	rr.Data.appendRData(e)
 	rdlen := len(e.buf) - start
 	if rdlen > 0xFFFF {
-		return fmt.Errorf("dnswire: RDATA of %s exceeds 65535 octets", rr.Name)
+		return errRDataTooLong
 	}
 	e.buf[lenOff] = byte(rdlen >> 8)
 	e.buf[lenOff+1] = byte(rdlen)
 	return nil
 }
 
-// Unpack decodes a wire-format message.
+// Unpack decodes a wire-format message. The returned Message owns all
+// of its memory: no field aliases msg, so callers may recycle the read
+// buffer the moment Unpack returns (the UDP serve loop does).
+//
+//repro:allocok decoding materializes a fresh Message by contract; the serve path amortizes it by recycling read buffers, not messages
 func Unpack(msg []byte) (*Message, error) {
 	d := &decoder{msg: msg, end: len(msg)}
 	var m Message

@@ -215,21 +215,95 @@ func (n Name) String() string {
 // IsRoot reports whether n is the DNS root.
 func (n Name) IsRoot() bool { return n == Root || n == "" }
 
+// labelEnd returns the length of the first label of a normalized
+// presentation string: the offset of the first unescaped '.', or
+// len(s) if there is none. Escapes are skipped whole (\c is two bytes,
+// \DDD is four), so a dot inside an escape never terminates the label.
+func labelEnd(s string) int {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\\':
+			if i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9' {
+				i += 3
+			} else {
+				i++
+			}
+		case c == '.':
+			return i
+		}
+	}
+	return len(s)
+}
+
+// labelWireLen returns the number of raw octets a presentation-form
+// label decodes to (each \c and \DDD escape is one octet).
+func labelWireLen(lab string) int {
+	n := 0
+	for i := 0; i < len(lab); i++ {
+		if lab[i] == '\\' {
+			if i+1 < len(lab) && lab[i+1] >= '0' && lab[i+1] <= '9' {
+				i += 3
+			} else {
+				i++
+			}
+		}
+		n++
+	}
+	return n
+}
+
+// appendLabelWire appends the wire encoding of one presentation-form
+// label to dst: a length octet followed by the raw label bytes, with
+// \c and \DDD escapes decoded.
+func appendLabelWire(dst []byte, lab string) []byte {
+	lenOff := len(dst)
+	dst = append(dst, 0)
+	for i := 0; i < len(lab); i++ {
+		c := lab[i]
+		if c == '\\' && i+1 < len(lab) {
+			next := lab[i+1]
+			if next >= '0' && next <= '9' && i+3 < len(lab) {
+				c = byte(int(next-'0')*100 + int(lab[i+2]-'0')*10 + int(lab[i+3]-'0'))
+				i += 3
+			} else {
+				c = next
+				i++
+			}
+		}
+		dst = append(dst, c)
+	}
+	dst[lenOff] = byte(len(dst) - lenOff - 1)
+	return dst
+}
+
 // CountLabels returns the number of labels (0 for the root).
-func (n Name) CountLabels() int { return len(n.Labels()) }
+func (n Name) CountLabels() int {
+	s := string(n)
+	count := 0
+	for pos := 0; pos < len(s); {
+		end := pos + labelEnd(s[pos:])
+		if end > pos {
+			count++
+		}
+		pos = end + 1
+	}
+	return count
+}
 
 // Parent returns the name with the leftmost label removed. The parent of
-// the root is the root.
+// the root is the root. A suffix of a normalized Name starting at a
+// label boundary is itself a normalized Name, so this is a slice, not a
+// rebuild.
 func (n Name) Parent() Name {
-	labels := n.Labels()
-	if len(labels) == 0 {
+	if n.IsRoot() {
 		return Root
 	}
-	m, err := fromLabels(labels[1:])
-	if err != nil {
-		panic(err)
+	s := string(n)
+	end := labelEnd(s)
+	if end+1 >= len(s) {
+		return Root
 	}
-	return m
+	return Name(s[end+1:])
 }
 
 // Child returns label + "." + n, validating the result.
@@ -248,21 +322,24 @@ func (n Name) MustChild(label string) Name {
 }
 
 // IsSubdomainOf reports whether n is equal to or a descendant of zone.
+// Both names are normalized, so n is under zone exactly when zone is a
+// suffix of n starting at one of n's label boundaries.
 func (n Name) IsSubdomainOf(zone Name) bool {
 	if zone.IsRoot() {
 		return true
 	}
-	nl, zl := n.Labels(), zone.Labels()
-	if len(nl) < len(zl) {
-		return false
-	}
-	off := len(nl) - len(zl)
-	for i := range zl {
-		if nl[off+i] != zl[i] {
+	s, z := string(n), string(zone)
+	for pos := 0; pos < len(s); {
+		rest := len(s) - pos
+		if rest == len(z) {
+			return s[pos:] == z
+		}
+		if rest < len(z) {
 			return false
 		}
+		pos += labelEnd(s[pos:]) + 1
 	}
-	return true
+	return false
 }
 
 // Wildcard returns "*." + n.
@@ -270,8 +347,8 @@ func (n Name) Wildcard() Name { return n.MustChild("*") }
 
 // IsWildcard reports whether the leftmost label of n is "*".
 func (n Name) IsWildcard() bool {
-	l := n.Labels()
-	return len(l) > 0 && l[0] == "*"
+	s := string(n)
+	return len(s) >= 2 && s[0] == '*' && s[1] == '.'
 }
 
 // CanonicalCompare implements the canonical DNS name ordering of
@@ -300,18 +377,29 @@ func CanonicalCompare(a, b Name) int {
 
 // WireLen returns the encoded length of n without compression.
 func (n Name) WireLen() int {
+	s := string(n)
 	l := 1
-	for _, lab := range n.Labels() {
-		l += 1 + len(lab)
+	for pos := 0; pos < len(s); {
+		end := pos + labelEnd(s[pos:])
+		if end > pos {
+			l += 1 + labelWireLen(s[pos:end])
+		}
+		pos = end + 1
 	}
 	return l
 }
 
-// appendName appends the uncompressed wire encoding of n to dst.
+// appendName appends the uncompressed wire encoding of n to dst,
+// decoding presentation escapes directly into dst without splitting n
+// into label strings.
 func appendName(dst []byte, n Name) []byte {
-	for _, lab := range n.Labels() {
-		dst = append(dst, byte(len(lab)))
-		dst = append(dst, lab...)
+	s := string(n)
+	for pos := 0; pos < len(s); {
+		end := pos + labelEnd(s[pos:])
+		if end > pos {
+			dst = appendLabelWire(dst, s[pos:end])
+		}
+		pos = end + 1
 	}
 	return append(dst, 0)
 }
@@ -321,11 +409,47 @@ func appendName(dst []byte, n Name) []byte {
 // and by NSEC3 hashing.
 func (n Name) AppendWire(dst []byte) []byte { return appendName(dst, n) }
 
+// presBufLen bounds the presentation form of any wire-legal name: at
+// most 254 raw label octets (wireLen <= 255), each rendered as at most
+// four presentation bytes (\DDD), plus one dot per label. 4*254 = 1016.
+const presBufLen = 1024
+
+// appendPresByte writes one raw label octet into the presentation
+// buffer at offset w, escaping '.', '\' and non-printable octets the
+// same way escapeLabel does, and returns the new offset.
+func appendPresByte(pres *[presBufLen]byte, w int, c byte) int {
+	switch {
+	case c == '.' || c == '\\':
+		pres[w] = '\\'
+		pres[w+1] = c
+		return w + 2
+	case c < '!' || c > '~':
+		pres[w] = '\\'
+		pres[w+1] = '0' + c/100
+		pres[w+2] = '0' + c/10%10
+		pres[w+3] = '0' + c%10
+		return w + 4
+	default:
+		pres[w] = c
+		return w + 1
+	}
+}
+
+// internName converts an assembled presentation buffer into a Name.
+// This is the single allocation of the name decode path: a Name must
+// own its bytes, so the stack buffer is copied into a fresh string.
+//
+//repro:allocok a decoded Name owns its memory by contract; one string per decoded name is the floor
+func internName(pres []byte) Name { return Name(pres) }
+
 // readName decodes a possibly-compressed name starting at off in msg.
 // It returns the name and the offset just past the name's first
 // occurrence (i.e. past the pointer if the name was compressed).
+// The presentation form is assembled in a stack buffer; the only
+// allocation is the final string conversion in internName.
 func readName(msg []byte, off int) (Name, int, error) {
-	var labels []string
+	var pres [presBufLen]byte
+	w := 0          // bytes of presentation form written
 	ptrBudget := 64 // generous loop guard; real messages chain a few at most
 	end := -1       // offset to return (set at first pointer)
 	wireLen := 1
@@ -339,11 +463,10 @@ func readName(msg []byte, off int) (Name, int, error) {
 			if end < 0 {
 				end = off + 1
 			}
-			name, err := fromLabels(labels)
-			if err != nil {
-				return "", 0, err
+			if w == 0 {
+				return Root, end, nil
 			}
-			return name, end, nil
+			return internName(pres[:w]), end, nil
 		case c&0xC0 == 0xC0:
 			if off+1 >= len(msg) {
 				return "", 0, ErrNameTrunc
@@ -369,11 +492,11 @@ func readName(msg []byte, off int) (Name, int, error) {
 			if wireLen > MaxNameWireLen {
 				return "", 0, ErrNameTooLong
 			}
-			lab := make([]byte, c)
-			for i := range lab {
-				lab[i] = lowerByte(msg[off+1+i])
+			for i := 0; i < int(c); i++ {
+				w = appendPresByte(&pres, w, lowerByte(msg[off+1+i]))
 			}
-			labels = append(labels, string(lab))
+			pres[w] = '.'
+			w++
 			off += 1 + int(c)
 		}
 	}

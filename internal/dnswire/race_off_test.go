@@ -1,0 +1,6 @@
+//go:build !race
+
+package dnswire
+
+// raceEnabled is false in a normal build; see race_on_test.go.
+const raceEnabled = false

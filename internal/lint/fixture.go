@@ -69,6 +69,9 @@ func GoldenCases() []GoldenCase {
 			{"srv", "repro/internal/srv"},
 		}},
 		{MergePurityAnalyzer, "mergepurity", []FixturePkg{{"", "repro/internal/mergefix"}}},
+		{HotPathAllocAnalyzer, "hotpathalloc", []FixturePkg{{"", "repro/internal/hotfix"}}},
+		{BufAliasAnalyzer, "bufalias", []FixturePkg{{"", "repro/internal/buffix"}}},
+		{PoolSafeAnalyzer, "poolsafe", []FixturePkg{{"", "repro/internal/poolfix"}}},
 	}
 }
 

@@ -193,6 +193,9 @@ func Analyzers() []*Analyzer {
 		CtxPropAnalyzer,
 		WireTaintAnalyzer,
 		MergePurityAnalyzer,
+		HotPathAllocAnalyzer,
+		BufAliasAnalyzer,
+		PoolSafeAnalyzer,
 	}
 }
 

@@ -89,6 +89,86 @@ func TestWireTrustedPropagatesTaint(t *testing.T) {
 	}
 }
 
+// TestAllocOKWaiverSemantics pins the hotpathalloc waiver contract:
+// bare directives in both directions are findings, a reasoned waiver
+// absorbs (the waived callee's allocation sites stay silent even on a
+// hot chain), a contradiction of root and waiver on one declaration
+// reports, and a waiver that silences nothing is itself a finding.
+func TestAllocOKWaiverSemantics(t *testing.T) {
+	diags, err := lint.RunFixture("testdata", goldenCase(t, "hotpathalloc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bareRoot, bareWaiver, contradiction, stale bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, lint.HotPathDirective+" directive without a reason"):
+			bareRoot = true
+		case strings.Contains(d.Message, lint.AllocOKDirective+" directive without a reason"):
+			bareWaiver = true
+		case strings.Contains(d.Message, "contradict each other"):
+			contradiction = true
+		case strings.Contains(d.Message, "waives nothing"):
+			stale = true
+			if !strings.Contains(d.Message, "hotfix.Idle") {
+				t.Errorf("stale-waiver finding names the wrong function: %s", d)
+			}
+		}
+		if strings.Contains(d.Message, "hotfix.fill") {
+			t.Errorf("waiver failed to absorb the waived callee's allocation: %s", d)
+		}
+	}
+	if !bareRoot {
+		t.Errorf("bare %s directive was not reported", lint.HotPathDirective)
+	}
+	if !bareWaiver {
+		t.Errorf("bare %s directive was not reported", lint.AllocOKDirective)
+	}
+	if !contradiction {
+		t.Errorf("contradictory root+waiver declaration was not reported")
+	}
+	if !stale {
+		t.Errorf("stale %s waiver was not reported", lint.AllocOKDirective)
+	}
+}
+
+// TestBufAliasWaiverSkips pins that a reasoned //repro:allocok on a
+// function silences bufalias for that whole function — Trusted returns
+// a parameter subslice by documented contract and must stay quiet.
+func TestBufAliasWaiverSkips(t *testing.T) {
+	diags, err := lint.RunFixture("testdata", goldenCase(t, "bufalias"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trusted returns b[:n] exactly like Window does; if the waiver were
+	// ignored the fixture would report one more subslice-return finding
+	// than its 8 marked violations.
+	if len(diags) != 8 {
+		t.Errorf("got %d findings, want exactly the 8 marked violations — the %s waiver on Trusted may not be honored",
+			len(diags), lint.AllocOKDirective)
+	}
+}
+
+// TestPoolSafeDefiniteOnly pins poolsafe's conservatism: the
+// disciplined twins — deferred Put, goroutine handoff, both-branch
+// Put, per-iteration channel transfer — produce no findings.
+func TestPoolSafeDefiniteOnly(t *testing.T) {
+	diags, err := lint.RunFixture("testdata", goldenCase(t, "poolsafe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 5 {
+		t.Errorf("got %d findings, want exactly the 5 marked violations", len(diags))
+	}
+	for _, d := range diags {
+		for _, clean := range []string{"DeferPut", "Handoff", "ErrPath", "LoopTransfer"} {
+			if strings.Contains(d.Message, clean) {
+				t.Errorf("disciplined twin %s reported: %s", clean, d)
+			}
+		}
+	}
+}
+
 // TestSelfCheckReports exercises the CI entry point end to end: every
 // fixture passes and carries its analyzer name and a timing.
 func TestSelfCheckReports(t *testing.T) {

@@ -1,0 +1,440 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolSafeAnalyzer enforces sync.Pool discipline on the pooled-buffer
+// serving path: a value checked out with Get must be returned with Put
+// on every path, never used after its Put, and never Put twice. The
+// zero-allocation UDP loop and message encoder recycle buffers per
+// packet; any of these three mistakes is either a leak (pool pressure
+// returns the allocations hotpathalloc just removed) or a data race
+// (two goroutines sharing one recycled buffer).
+//
+// The analysis is intra-procedural and flow-sensitive: branches fork
+// the tracking state and rejoin conservatively (a value Put on one
+// fall-through branch but not the other reports nothing — only
+// definite violations are findings). Ownership transfers end the
+// obligation: returning the value, passing it to a go or defer call
+// (defer pool.Put(x) and defer release(x) both count), sending it on a
+// channel, storing it into a field, global, map, or slice, or
+// capturing it in a function literal. Plain calls are borrows. Values
+// escaping this way are the callee's responsibility; the analyzer
+// tracks each function's own obligations only.
+//
+// A Get inside a loop must resolve its obligation within the
+// iteration: a pool value still live at a continue or at the end of
+// the loop body leaks once per packet, the worst possible place.
+var PoolSafeAnalyzer = &Analyzer{
+	Name: "poolsafe",
+	Doc: "every sync.Pool Get must be Put on all paths, never used " +
+		"after Put, never Put twice",
+	Run: runPoolSafe,
+}
+
+// poolState is the tracking state of one Get result.
+type poolState int
+
+const (
+	poolLive  poolState = iota // checked out, Put still owed
+	poolPut                    // returned to the pool
+	poolGone                   // ownership transferred; no local obligation
+	poolMaybe                  // branches disagree; only definite bugs report
+)
+
+func runPoolSafe(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &poolWalker{pass: pass, info: pass.Info}
+			st := map[types.Object]poolState{}
+			terminated := w.walkStmts(fd.Body.List, st)
+			if !terminated {
+				w.flagLive(st)
+			}
+		}
+	}
+}
+
+// poolWalker carries one function's walk.
+type poolWalker struct {
+	pass *Pass
+	info *types.Info
+	// loopLocals, when non-nil, collects Gets performed inside the
+	// innermost loop body, which must resolve before the iteration
+	// ends.
+	loopLocals map[types.Object]bool
+}
+
+// isSyncPoolMethod reports whether call invokes the named method on a
+// sync.Pool (or *sync.Pool) receiver. Shared by poolsafe and bufalias.
+func isSyncPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+// isSyncPoolGet unwraps an expression that is (possibly a type
+// assertion over) a (*sync.Pool).Get call.
+func isSyncPoolGet(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	return ok && isSyncPoolMethod(info, call, "Get")
+}
+
+// trackedIdent resolves an expression to a tracked object, unwrapping
+// parens only — derivations (slices, derefs) are uses, not the value.
+func (w *poolWalker) trackedIdent(e ast.Expr, st map[types.Object]poolState) (types.Object, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := w.info.Uses[id]
+	if obj == nil {
+		obj = w.info.Defs[id]
+	}
+	if obj == nil {
+		return nil, false
+	}
+	_, tracked := st[obj]
+	return obj, tracked
+}
+
+// checkUses reports tracked values read after their Put. The node is
+// scanned for identifiers; exclude suppresses the one identifier that
+// is the current statement's own Put argument.
+func (w *poolWalker) checkUses(node ast.Node, st map[types.Object]poolState, exclude ast.Expr) {
+	if node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if exclude != nil && ast.Unparen(exclude) == ast.Node(id) {
+			return true
+		}
+		obj := w.info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if st[obj] == poolPut {
+			w.pass.Reportf(id.Pos(),
+				"%s is used after being Put back to its sync.Pool; the pool may already have handed it to another goroutine", id.Name)
+			st[obj] = poolGone // one report per violation chain
+		}
+		return true
+	})
+}
+
+// transferAll marks every tracked value appearing anywhere in node as
+// ownership-transferred.
+func (w *poolWalker) transferAll(node ast.Node, st map[types.Object]poolState) {
+	if node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := w.info.Uses[id]; obj != nil {
+			if s, tracked := st[obj]; tracked && s != poolPut {
+				st[obj] = poolGone
+			}
+		}
+		return true
+	})
+}
+
+// flagLive reports every value still owing a Put at a function exit.
+func (w *poolWalker) flagLive(st map[types.Object]poolState) {
+	for obj, s := range st {
+		if s == poolLive {
+			w.pass.Reportf(obj.Pos(),
+				"sync.Pool Get result %s is not returned to the pool on every path; Put it (or transfer ownership) before this path exits", obj.Name())
+			st[obj] = poolGone
+		}
+	}
+}
+
+// flagLoopLive reports loop-local values still owed at an iteration
+// boundary.
+func (w *poolWalker) flagLoopLive(st map[types.Object]poolState, locals map[types.Object]bool) {
+	for obj := range locals {
+		if st[obj] == poolLive {
+			w.pass.Reportf(obj.Pos(),
+				"sync.Pool Get result %s leaks once per loop iteration; Put it (or transfer ownership) before the iteration ends", obj.Name())
+			st[obj] = poolGone
+		}
+	}
+}
+
+// cloneState copies the tracking state for a branch.
+func cloneState(st map[types.Object]poolState) map[types.Object]poolState {
+	c := make(map[types.Object]poolState, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+// joinStates merges two fall-through branch states into dst:
+// agreement keeps the state, disagreement degrades to poolMaybe.
+func joinStates(dst, a, b map[types.Object]poolState) {
+	for obj := range a {
+		av, bv := a[obj], b[obj]
+		if av == bv {
+			dst[obj] = av
+		} else {
+			dst[obj] = poolMaybe
+		}
+	}
+	for obj := range b {
+		if _, ok := a[obj]; !ok {
+			dst[obj] = poolMaybe
+		}
+	}
+}
+
+// walkStmts walks a statement list, returning whether it definitely
+// transfers control away (return, branch, panic).
+func (w *poolWalker) walkStmts(list []ast.Stmt, st map[types.Object]poolState) bool {
+	for _, s := range list {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *poolWalker) walkStmt(stmt ast.Stmt, st map[types.Object]poolState) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		w.checkUses(s, st, nil)
+		// New Gets: x := pool.Get().(*T).
+		for i, rhs := range s.Rhs {
+			if i >= len(s.Lhs) || !isSyncPoolGet(w.info, rhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+				if obj := w.info.Defs[id]; obj != nil {
+					st[obj] = poolLive
+					if w.loopLocals != nil {
+						w.loopLocals[obj] = true
+					}
+				} else if obj := w.info.Uses[id]; obj != nil {
+					st[obj] = poolLive
+				}
+			}
+		}
+		// Stores of tracked values into fields, globals, maps, or
+		// slices transfer ownership.
+		for i, lhs := range s.Lhs {
+			if i >= len(s.Rhs) {
+				break
+			}
+			switch ast.Unparen(lhs).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				w.transferAll(s.Rhs[i], st)
+			}
+		}
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if ok && isSyncPoolMethod(w.info, call, "Put") && len(call.Args) == 1 {
+			if obj, tracked := w.trackedIdent(call.Args[0], st); tracked {
+				switch st[obj] {
+				case poolPut:
+					w.pass.Reportf(call.Pos(),
+						"%s is Put back to its sync.Pool twice; the pool may hand the same buffer to two goroutines", obj.Name())
+				case poolLive, poolMaybe:
+					st[obj] = poolPut
+				}
+				return false
+			}
+		}
+		w.checkUses(s, st, nil)
+		// Function literals passed as arguments may retain captures.
+		if ok {
+			for _, arg := range call.Args {
+				if lit, isLit := ast.Unparen(arg).(*ast.FuncLit); isLit {
+					w.transferAll(lit, st)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		w.checkUses(s, st, nil)
+		w.transferAll(s.Call, st)
+	case *ast.DeferStmt:
+		w.checkUses(s, st, nil)
+		// defer pool.Put(x) / defer release(x): the obligation is
+		// satisfied at every exit from here on.
+		w.transferAll(s.Call, st)
+	case *ast.SendStmt:
+		w.checkUses(s, st, nil)
+		w.transferAll(s.Value, st)
+	case *ast.ReturnStmt:
+		w.checkUses(s, st, nil)
+		for _, r := range s.Results {
+			w.transferAll(r, st)
+		}
+		w.flagLive(st)
+		return true
+	case *ast.BranchStmt:
+		// A continue ends the iteration: loop-local obligations are due.
+		if w.loopLocals != nil && s.Tok.String() == "continue" {
+			w.flagLoopLive(st, w.loopLocals)
+		}
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.checkUses(s.Cond, st, nil)
+		bodySt := cloneState(st)
+		bodyTerm := w.walkStmts(s.Body.List, bodySt)
+		elseSt := cloneState(st)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, elseSt)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return true
+		case bodyTerm:
+			replaceState(st, elseSt)
+		case elseTerm:
+			replaceState(st, bodySt)
+		default:
+			joinStates(st, bodySt, elseSt)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.checkUses(s.Cond, st, nil)
+		}
+		w.walkLoopBody(s.Body, st)
+		if s.Post != nil {
+			w.walkStmt(s.Post, st)
+		}
+	case *ast.RangeStmt:
+		w.checkUses(s.X, st, nil)
+		w.walkLoopBody(s.Body, st)
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.checkUses(s.Tag, st, nil)
+		w.walkClauses(s.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.walkClauses(s.Body.List, st)
+	case *ast.SelectStmt:
+		w.walkClauses(s.Body.List, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	default:
+		w.checkUses(stmt, st, nil)
+	}
+	return false
+}
+
+// replaceState overwrites dst with src in place.
+func replaceState(dst, src map[types.Object]poolState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// walkLoopBody walks a loop body once with its own loop-local Get set,
+// then joins the result conservatively with the pre-loop state (zero
+// iterations must stay sound).
+func (w *poolWalker) walkLoopBody(body *ast.BlockStmt, st map[types.Object]poolState) {
+	saved := w.loopLocals
+	w.loopLocals = map[types.Object]bool{}
+	bodySt := cloneState(st)
+	terminated := w.walkStmts(body.List, bodySt)
+	if !terminated {
+		w.flagLoopLive(bodySt, w.loopLocals)
+	}
+	w.loopLocals = saved
+	joinStates(st, st, bodySt)
+}
+
+// walkClauses walks switch/select clause bodies, each on a cloned
+// state, joining all fall-through results.
+func (w *poolWalker) walkClauses(clauses []ast.Stmt, st map[types.Object]poolState) {
+	base := cloneState(st)
+	first := true
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.checkUses(e, base, nil)
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			clSt := cloneState(base)
+			if cc.Comm != nil {
+				w.walkStmt(cc.Comm, clSt)
+			}
+			if !w.walkStmts(cc.Body, clSt) {
+				if first {
+					replaceState(st, clSt)
+					first = false
+				} else {
+					joinStates(st, st, clSt)
+				}
+			}
+			continue
+		default:
+			continue
+		}
+		clSt := cloneState(base)
+		if !w.walkStmts(body, clSt) {
+			if first {
+				replaceState(st, clSt)
+				first = false
+			} else {
+				joinStates(st, st, clSt)
+			}
+		}
+	}
+	if first {
+		replaceState(st, base)
+	}
+}

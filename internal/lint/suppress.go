@@ -22,6 +22,15 @@ const (
 	// sites are bounded by means the taint analysis cannot see (e.g.
 	// fuzz-verified framing). Taint still flows through it.
 	WireTrustedDirective = "//repro:wiretrusted"
+	// HotPathDirective roots the hotpathalloc analysis: everything
+	// statically reachable from an annotated function must be free of
+	// allocation sites. The reason states why the path is hot.
+	HotPathDirective = "//repro:hotpath"
+	// AllocOKDirective waives allocation findings on one function and
+	// absorbs: hotpathalloc stops propagating through it, and bufalias
+	// skips its buffer-escape checks. The reason must say why the
+	// allocation (or retention) is acceptable on a hot path.
+	AllocOKDirective = "//repro:allocok"
 )
 
 // parseDirectives collects every //repro:<name> directive in a doc

@@ -1,0 +1,107 @@
+// Package buffix is the bufalias golden fixture: aliases of
+// caller-provided, pooled, and loop-read buffers escaping their reuse
+// window, each with a compliant twin that stays silent.
+package buffix
+
+import (
+	"net"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 1024); return &b }}
+
+// Keep retains frames across calls.
+type Keep struct {
+	last []byte
+}
+
+// Stash stores a subslice of the caller's frame past the call.
+func (k *Keep) Stash(frame []byte, n int) {
+	k.last = frame[:n] // want `a subslice of the caller-provided buffer frame is stored in a field of k`
+}
+
+// Adopt stores the whole parameter — the constructor idiom stays
+// quiet: handing over a complete buffer is an ownership transfer, not
+// an alias.
+func (k *Keep) Adopt(frame []byte) {
+	k.last = frame
+}
+
+// Window returns an alias into its caller's buffer.
+func Window(b []byte, n int) []byte {
+	return b[:n] // want `a subslice of the caller-provided buffer b is returned`
+}
+
+// Copied is the compliant twin: the spread append copies the bytes
+// into fresh memory.
+func Copied(b []byte, n int) []byte {
+	return append([]byte(nil), b[:n]...)
+}
+
+// Lease returns memory the deferred Put recycles.
+func Lease(n int) []byte {
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	return (*bp)[:n] // want `a subslice of the pooled buffer bp is returned`
+}
+
+var lastFrame []byte
+
+// Record publishes the caller's buffer globally.
+func Record(frame []byte, n int) {
+	lastFrame = frame[:n] // want `a subslice of the caller-provided buffer frame is stored in package-level variable lastFrame`
+}
+
+// Publish sends an alias of the caller's buffer to another goroutine.
+func Publish(ch chan []byte, frame []byte, n int) {
+	ch <- frame[:n] // want `a subslice of the caller-provided buffer frame is sent on a channel`
+}
+
+// Pump reads frames into one buffer and leaks aliases across
+// iterations: both escapes race with the next Read.
+func Pump(conn net.Conn, ch chan []byte) ([][]byte, error) {
+	buf := make([]byte, 512)
+	var frames [][]byte
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return frames, err
+		}
+		ch <- buf[:n]                    // want `read buffer buf is refilled every iteration of this loop but is sent on a channel`
+		frames = append(frames, buf[:n]) // want `read buffer buf is refilled every iteration of this loop but is retained by a growing slice`
+	}
+}
+
+// PumpCopy is the compliant twin: each frame is copied before it
+// leaves the iteration.
+func PumpCopy(conn net.Conn, ch chan []byte) error {
+	buf := make([]byte, 512)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return err
+		}
+		frame := append([]byte(nil), buf[:n]...)
+		ch <- frame
+	}
+}
+
+// Fan hands the shared read buffer to a goroutine each packet.
+func Fan(pc net.PacketConn, handle func([]byte)) {
+	buf := make([]byte, 512)
+	for {
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		go handle(buf[:n]) // want `read buffer buf is refilled every iteration of this loop but escapes to a goroutine`
+	}
+}
+
+// Trusted aliases by documented contract; the waiver silences the
+// whole function.
+//
+//repro:allocok fixture: callers treat the result as valid only until their next call
+func Trusted(b []byte, n int) []byte {
+	return b[:n]
+}

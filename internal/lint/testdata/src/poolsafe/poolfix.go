@@ -1,0 +1,86 @@
+// Package poolfix is the poolsafe golden fixture: the three pool
+// crimes — a path that forgets its Put, a double Put, a use after Put,
+// and the per-iteration leak — next to the disciplined twins that must
+// stay silent.
+package poolfix
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 512); return &b }}
+
+// Leak drops the buffer on its early-return path.
+func Leak(cond bool) {
+	bp := pool.Get().(*[]byte) // want `sync\.Pool Get result bp is not returned to the pool on every path`
+	if cond {
+		return
+	}
+	pool.Put(bp)
+}
+
+// DoublePut returns the same buffer twice; the pool may hand it to two
+// goroutines at once.
+func DoublePut() {
+	bp := pool.Get().(*[]byte)
+	pool.Put(bp)
+	pool.Put(bp) // want `bp is Put back to its sync\.Pool twice`
+}
+
+// UseAfterPut reads a buffer the pool already owns again.
+func UseAfterPut() byte {
+	bp := pool.Get().(*[]byte)
+	pool.Put(bp)
+	return (*bp)[0] // want `bp is used after being Put back to its sync\.Pool`
+}
+
+// LoopLeak takes a buffer every iteration and never gives it back.
+func LoopLeak(jobs []int) {
+	for range jobs {
+		bp := pool.Get().(*[]byte) // want `sync\.Pool Get result bp leaks once per loop iteration`
+		_ = bp
+	}
+}
+
+// SkipLeak loses the buffer whenever a job is skipped.
+func SkipLeak(jobs []int) {
+	for _, j := range jobs {
+		bp := pool.Get().(*[]byte) // want `sync\.Pool Get result bp leaks once per loop iteration`
+		if j == 0 {
+			continue
+		}
+		pool.Put(bp)
+	}
+}
+
+// DeferPut is the canonical discipline: the deferred Put satisfies
+// every exit path, and uses before it are legal.
+func DeferPut() int {
+	bp := pool.Get().(*[]byte)
+	defer pool.Put(bp)
+	return len(*bp)
+}
+
+// Handoff transfers ownership to a goroutine; the Put obligation moves
+// with it.
+func Handoff(work func(*[]byte)) {
+	bp := pool.Get().(*[]byte)
+	go work(bp)
+}
+
+// ErrPath puts explicitly on both branches.
+func ErrPath(cond bool) {
+	bp := pool.Get().(*[]byte)
+	if cond {
+		pool.Put(bp)
+		return
+	}
+	pool.Put(bp)
+}
+
+// LoopTransfer resolves each iteration's obligation by handing the
+// buffer off before the iteration ends.
+func LoopTransfer(jobs []int, sink chan *[]byte) {
+	for range jobs {
+		bp := pool.Get().(*[]byte)
+		sink <- bp
+	}
+}

@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// TestPooledBuffersConcurrentQueries is the regression test for the
+// pooled UDP read loop: read buffers are recycled through a sync.Pool
+// the moment Unpack returns, and write buffers the moment WriteTo
+// does. If either window were wrong — a buffer Put while a packet
+// goroutine still reads it, or a response rendered into a buffer
+// another packet already claimed — concurrent queries would bleed into
+// each other's names and payloads. Every response must match its own
+// query exactly; run under -race (CI does) this also catches the
+// textbook use-after-Put data race.
+func TestPooledBuffersConcurrentQueries(t *testing.T) {
+	h := HandlerFunc(func(ctx context.Context, from netip.AddrPort, q *dnswire.Message) *dnswire.Message {
+		return &dnswire.Message{
+			Header:    dnswire.Header{ID: q.Header.ID, Response: true},
+			Questions: q.Questions,
+			Answers: []dnswire.RR{{
+				Name: q.Question().Name, Class: dnswire.ClassIN, TTL: 1,
+				Data: dnswire.TXT{Strings: []string{q.Question().Name.String()}},
+			}},
+		}
+	})
+	srv := &Server{Handler: h}
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const workers = 8
+	const perWorker = 25
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &UDPExchanger{Timeout: 5 * time.Second}
+			for i := 0; i < perWorker; i++ {
+				name := dnswire.MustParseName(fmt.Sprintf("w%d-q%d.pool.example.", w, i))
+				q := dnswire.NewQuery(uint16(w*perWorker+i), name, dnswire.TypeTXT, false)
+				resp, err := client.Exchange(context.Background(), addr, q)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d query %d: %v", w, i, err)
+					return
+				}
+				if resp.Header.ID != q.Header.ID {
+					errs <- fmt.Errorf("worker %d query %d: ID %d, want %d", w, i, resp.Header.ID, q.Header.ID)
+					return
+				}
+				if got := resp.Question().Name; got != name {
+					errs <- fmt.Errorf("worker %d query %d: question %q bled from another packet, want %q", w, i, got, name)
+					return
+				}
+				if len(resp.Answers) != 1 || resp.Answers[0].Data.(dnswire.TXT).Strings[0] != name.String() {
+					errs <- fmt.Errorf("worker %d query %d: answer %v, want TXT %q", w, i, resp.Answers, name)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

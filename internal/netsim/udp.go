@@ -92,12 +92,31 @@ func (s *Server) udpSize() int {
 	return dnswire.DefaultUDPSize
 }
 
+// pktPool recycles 65535-octet packet buffers between UDP reads and
+// response writes. Each datagram is read into a pooled buffer which is
+// handed whole to the handling goroutine (ownership transfer, no copy)
+// and returned to the pool the moment Unpack has materialized the query
+// — dnswire.Unpack guarantees the Message aliases none of its input.
+var pktPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 65535)
+		return &b
+	},
+}
+
+// serveUDP is the datagram accept loop: read into a pooled buffer,
+// hand it to a per-packet goroutine, repeat. Handlers may block on
+// lazy zone signing or cross-server queries, so packets must not be
+// handled serially here.
+//
+//repro:hotpath every real-socket UDP query is read, decoded, dispatched, and answered through this loop
 func (s *Server) serveUDP(ctx context.Context) {
 	defer s.wg.Done()
-	buf := make([]byte, 65535)
 	for {
-		n, from, err := s.pc.ReadFrom(buf)
+		bp := pktPool.Get().(*[]byte)
+		n, from, err := s.pc.ReadFrom(*bp)
 		if err != nil {
+			pktPool.Put(bp)
 			select {
 			case <-s.shutdown:
 				return
@@ -105,36 +124,46 @@ func (s *Server) serveUDP(ctx context.Context) {
 				continue
 			}
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		fromAP := from.(*net.UDPAddr).AddrPort()
 		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			query, err := dnswire.Unpack(pkt)
-			if err != nil || len(query.Questions) == 0 || query.Header.Response {
-				return // garbage: drop, like most servers
-			}
-			resp := s.Handler.Handle(ctx, fromAP, query)
-			if resp == nil {
-				return
-			}
-			size := s.udpSize()
-			if opt, ok := query.OPT(); ok && int(opt.UDPSize) < size {
-				size = int(opt.UDPSize)
-			}
-			if size < 512 {
-				size = 512
-			}
-			wire, err := resp.PackBuffer(nil, size, true)
-			if err != nil {
-				return
-			}
-			// A dropped response is indistinguishable from UDP loss;
-			// the client's retry logic covers it.
-			_, _ = s.pc.WriteTo(wire, from)
-		}()
+		go s.servePacket(ctx, bp, n, from)
 	}
+}
+
+// servePacket decodes one datagram, dispatches it to the handler, and
+// writes the response, recycling pooled buffers at both ends. It owns
+// bp from the moment it is spawned and must Put it exactly once.
+func (s *Server) servePacket(ctx context.Context, bp *[]byte, n int, from net.Addr) {
+	defer s.wg.Done()
+	query, err := dnswire.Unpack((*bp)[:n])
+	// The Message owns all its memory (no aliasing into *bp), so the
+	// read buffer can recycle before the handler runs.
+	pktPool.Put(bp)
+	if err != nil || len(query.Questions) == 0 || query.Header.Response {
+		return // garbage: drop, like most servers
+	}
+	fromAP := from.(*net.UDPAddr).AddrPort()
+	resp := s.Handler.Handle(ctx, fromAP, query)
+	if resp == nil {
+		return
+	}
+	size := s.udpSize()
+	if opt, ok := query.OPT(); ok && int(opt.UDPSize) < size {
+		size = int(opt.UDPSize)
+	}
+	if size < 512 {
+		size = 512
+	}
+	wbp := pktPool.Get().(*[]byte)
+	wire, err := resp.PackBuffer((*wbp)[:0], size, true)
+	if err != nil {
+		pktPool.Put(wbp)
+		return
+	}
+	// A dropped response is indistinguishable from UDP loss;
+	// the client's retry logic covers it. wire may alias *wbp, hence
+	// the Put strictly after the write.
+	_, _ = s.pc.WriteTo(wire, from)
+	pktPool.Put(wbp)
 }
 
 func (s *Server) serveTCP(ctx context.Context) {

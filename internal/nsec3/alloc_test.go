@@ -1,0 +1,47 @@
+package nsec3
+
+import (
+	"testing"
+
+	"repro/internal/dnswire"
+)
+
+// TestAppendHashAllocFree pins the denial-proof hot path: hashing a
+// query name into a caller-provided buffer must not allocate, at any
+// realistic iteration count. The //repro:hotpath annotation on
+// AppendHash is enforced statically by hotpathalloc; this test is the
+// dynamic half of the same contract.
+func TestAppendHashAllocFree(t *testing.T) {
+	name := dnswire.MustParseName("www.example.org.")
+	p := Params{Alg: dnswire.NSEC3HashSHA1, Iterations: 10, Salt: []byte{0xab, 0xcd}}
+	dst := make([]byte, 0, HashLen)
+	if n := testing.AllocsPerRun(100, func() {
+		var err error
+		dst, err = AppendHash(dst[:0], name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("AppendHash into spare capacity allocates %.1f times per run, want 0", n)
+	}
+}
+
+// hashSink keeps Hash's result live so escape analysis cannot
+// stack-allocate it and the measurement sees the real caller cost.
+var hashSink []byte
+
+// TestHashSingleAlloc pins the convenience wrapper's floor: exactly
+// one allocation, the returned hash itself.
+func TestHashSingleAlloc(t *testing.T) {
+	name := dnswire.MustParseName("www.example.org.")
+	p := Params{Alg: dnswire.NSEC3HashSHA1, Iterations: 10, Salt: []byte{0xab, 0xcd}}
+	if n := testing.AllocsPerRun(100, func() {
+		var err error
+		hashSink, err = Hash(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 1 {
+		t.Errorf("Hash allocates %.1f times per run, want exactly 1 (the returned digest)", n)
+	}
+}

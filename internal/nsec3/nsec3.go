@@ -69,24 +69,61 @@ var ErrUnknownAlg = errors.New("nsec3: unknown hash algorithm")
 // applied to the canonical (lowercase, uncompressed) wire form of name,
 // with k = p.Iterations. The per-iteration rehash over a 20-octet
 // digest plus salt is exactly the CPU cost CVE-2023-50868 weaponizes.
+//
+//repro:allocok convenience wrapper: the one make is the returned hash; zero-allocation callers use AppendHash with a reused dst
 func Hash(name dnswire.Name, p Params) ([]byte, error) {
+	out := make([]byte, 0, HashLen)
+	return AppendHash(out, name, p)
+}
+
+// AppendHash appends the 20-octet iterated salted hash of name to dst
+// and returns the extended slice. All intermediate state lives in a
+// stack scratch buffer, so with a dst of sufficient capacity the call
+// performs zero heap allocations — this is the form the denial-proof
+// serving path uses per query.
+//
+//repro:hotpath every NSEC3 denial proof hashes the query name; negative answers at line rate must not allocate per hash
+func AppendHash(dst []byte, name dnswire.Name, p Params) ([]byte, error) {
 	if p.Alg != dnswire.NSEC3HashSHA1 {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownAlg, p.Alg)
+		return nil, ErrUnknownAlg
 	}
+	if len(p.Salt) > MaxSaltLen {
+		// A salt beyond the one-octet wire limit cannot appear in a
+		// valid NSEC3PARAM; accept it anyway (robustness principle) on
+		// a heap-allocating cold path.
+		return appendHashBigSalt(dst, name, p)
+	}
+	// Big enough for wire-form name + salt (first round) and for
+	// digest + salt (every additional iteration).
+	var scratch [dnswire.MaxNameWireLen + MaxSaltLen]byte
+	buf := scratch[:0]
+	buf = name.AppendWire(buf)
+	buf = append(buf, p.Salt...)
+	digest := sha1.Sum(buf)
+	for i := uint16(0); i < p.Iterations; i++ {
+		buf = append(buf[:0], digest[:]...)
+		buf = append(buf, p.Salt...)
+		digest = sha1.Sum(buf)
+	}
+	return append(dst, digest[:]...), nil
+}
+
+// appendHashBigSalt is AppendHash for salts too long for the stack
+// scratch buffer.
+//
+//repro:allocok oversized salts cannot occur in a valid NSEC3PARAM; this robustness path is never on the serving side
+func appendHashBigSalt(dst []byte, name dnswire.Name, p Params) ([]byte, error) {
 	buf := make([]byte, 0, name.WireLen()+len(p.Salt))
 	buf = name.AppendWire(buf)
 	buf = append(buf, p.Salt...)
 	digest := sha1.Sum(buf)
-	// Reuse one buffer for every additional iteration.
 	iter := make([]byte, 0, HashLen+len(p.Salt))
 	for i := uint16(0); i < p.Iterations; i++ {
 		iter = append(iter[:0], digest[:]...)
 		iter = append(iter, p.Salt...)
 		digest = sha1.Sum(iter)
 	}
-	out := make([]byte, HashLen)
-	copy(out, digest[:])
-	return out, nil
+	return append(dst, digest[:]...), nil
 }
 
 // base32Hex is unpadded Base32 with the "extended hex" alphabet
@@ -238,7 +275,8 @@ func (c *Chain) Match(name dnswire.Name) (Record, bool, error) {
 	if len(c.Records) == 0 {
 		return Record{}, false, ErrEmptyChain
 	}
-	h, err := Hash(name, c.Params)
+	var hb [HashLen]byte
+	h, err := AppendHash(hb[:0], name, c.Params)
 	if err != nil {
 		return Record{}, false, err
 	}
@@ -256,7 +294,8 @@ func (c *Chain) Cover(name dnswire.Name) (Record, bool, error) {
 	if len(c.Records) == 0 {
 		return Record{}, false, ErrEmptyChain
 	}
-	h, err := Hash(name, c.Params)
+	var hb [HashLen]byte
+	h, err := AppendHash(hb[:0], name, c.Params)
 	if err != nil {
 		return Record{}, false, err
 	}

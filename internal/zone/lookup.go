@@ -53,6 +53,8 @@ type Answer struct {
 // RFC 1034 §4.3.2 adapted for DNSSEC (RFC 4035 §3.1) and NSEC3
 // (RFC 5155 §7.2). When do is false, DNSSEC records (RRSIG, NSEC,
 // NSEC3) are omitted, as for a query without the DO bit.
+//
+//repro:allocok answer synthesis walks the zone and builds RR sets per query today; the ROADMAP answer cache precompiles these at Materialize time
 func (s *Signed) Evaluate(qname dnswire.Name, qtype dnswire.Type, do bool) (*Answer, error) {
 	if !qname.IsSubdomainOf(s.Zone.Apex) {
 		return &Answer{Kind: KindNotInZone, RCode: dnswire.RCodeRefused}, nil
