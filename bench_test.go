@@ -240,6 +240,33 @@ func BenchmarkSurveyShardedEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkResolverStudySharded runs the whole §4.2 resolver study
+// through the plan→execute→merge loop at different shard counts.
+// Results are identical in every cell (TestResolverStudyShardEquivalence);
+// what varies is the memory envelope — each shard deploys only its
+// cursor's slice of the fleet, and the sign cache keeps the testbed's
+// 52 zones signed once across shard worlds.
+func BenchmarkResolverStudySharded(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				report, err := core.RunResolverStudy(context.Background(), core.ResolverStudyConfig{
+					ScaleDen: 1000,
+					Seed:     3,
+					Shards:   shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if report.Overall.Probed == 0 {
+					b.Fatal("short resolver study")
+				}
+			}
+		})
+	}
+}
+
 // ---------------------------------------------------------------------
 // Figure 2: rank-CDF construction over the NSEC3 intersection.
 

@@ -67,6 +67,56 @@ func runDistCoordinator(ctx context.Context, addr string, spec core.SurveySpec, 
 	return nil
 }
 
+// runDistResolverCoordinator is runDistCoordinator for the §4.2
+// resolver study (`repro -fig3 -serve ADDR`).
+func runDistResolverCoordinator(ctx context.Context, addr string, spec core.ResolverStudySpec, reg *obs.Registry, stateDir string, resume bool, leaseTTL time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "repro: coordinating on %s\n", ln.Addr())
+	coord, err := distsurvey.NewResolverCoordinator(distsurvey.ResolverConfig{
+		Spec:     spec,
+		Obs:      reg,
+		StateDir: stateDir,
+		Resume:   resume,
+		LeaseTTL: leaseTTL,
+	})
+	if err != nil {
+		// ServeResolverStudy never runs, so release the listener here.
+		_ = ln.Close()
+		return err
+	}
+	if n := coord.CheckpointsLoaded(); n > 0 {
+		fmt.Fprintf(os.Stderr, "repro: resumed %d checkpointed shard(s) from %s\n", n, stateDir)
+	}
+	fmt.Printf("== Coordinating the §4.2 resolver study (fleet at 1:%d scale, %d shards, seed %d)…\n\n",
+		spec.ScaleDen, spec.Shards, spec.Seed)
+	report, err := coord.ServeResolverStudy(ctx, ln)
+	if err != nil {
+		return err
+	}
+	printFig3(report)
+	return nil
+}
+
+// runDistResolverWorker is runDistWorker for the §4.2 resolver study
+// (`repro -fig3 -worker ADDR`).
+func runDistResolverWorker(ctx context.Context, addr string, spec core.ResolverStudySpec, reg *obs.Registry, tracer *obs.Tracer) error {
+	conn, err := dialRetry(ctx, addr)
+	if err != nil {
+		return err
+	}
+	name, _ := os.Hostname() // best-effort label; empty is fine
+	name = fmt.Sprintf("%s/%d", name, os.Getpid())
+	fmt.Fprintf(os.Stderr, "repro: worker %s serving coordinator %s\n", name, addr)
+	return distsurvey.RunResolverWorker(ctx, conn, spec, distsurvey.WorkerConfig{
+		Name:  name,
+		Obs:   reg,
+		Trace: tracer,
+	})
+}
+
 // runDistWorker dials the coordinator (retrying while it boots) and
 // executes leased shards until the survey is done.
 func runDistWorker(ctx context.Context, addr string, spec core.SurveySpec, reg *obs.Registry, tracer *obs.Tracer) error {

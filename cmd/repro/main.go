@@ -115,6 +115,25 @@ func run() error {
 		if *serveAddr != "" && *workerAddr != "" {
 			return fmt.Errorf("-serve and -worker are mutually exclusive")
 		}
+		// Distributed mode runs exactly one study kind: -fig3 selects the
+		// §4.2 resolver study, anything else the §4.1 domain survey.
+		if *fig3 {
+			if *fig1 || *table2 || *tlds || *fig2 || *all {
+				return fmt.Errorf("distributed mode runs one study at a time: pass -fig3 alone or the domain-survey sections alone")
+			}
+			rspec, err := core.ResolverStudyConfig{
+				ScaleDen: *rScale,
+				Seed:     *seed,
+				Shards:   *shards,
+			}.Resolve()
+			if err != nil {
+				return err
+			}
+			if *workerAddr != "" {
+				return runDistResolverWorker(ctx, *workerAddr, rspec, reg, tracer)
+			}
+			return runDistResolverCoordinator(ctx, *serveAddr, rspec, reg, *stateDir, *resume, *leaseTTL)
+		}
 		spec, err := core.SurveyConfig{
 			Registered: population.FullRegistered / *dScale,
 			Seed:       *seed,
@@ -192,10 +211,13 @@ func run() error {
 	}
 
 	if *all || *fig3 {
-		fmt.Printf("== Running the §4.2 resolver study (fleet at 1:%d scale, seed %d)…\n\n", *rScale, *seed)
+		fmt.Printf("== Running the §4.2 resolver study (fleet at 1:%d scale, %d shard(s), seed %d)…\n\n", *rScale, *shards, *seed)
 		rs, err := core.RunResolverStudy(ctx, core.ResolverStudyConfig{
 			ScaleDen: *rScale,
 			Seed:     *seed,
+			Shards:   *shards,
+			Obs:      reg,
+			Trace:    tracer,
 		})
 		if err != nil {
 			return err
@@ -307,6 +329,14 @@ func printFig3(rs *core.ResolverStudyReport) {
 			fmt.Println()
 		}
 	}
+	var deployed, population int
+	for _, q := range quads {
+		deployed += rs.Deployed[q]
+		population += rs.Population[q]
+	}
+	fmt.Printf("  deployed fleet                    %6d resolvers (modeling a %d-resolver population; paper: 1.9 M open + 2.5 K closed)\n",
+		deployed, population)
+	fmt.Printf("  probe failures (no transcript)    %6d\n", rs.ProbeFailures)
 	o := rs.Overall
 	fmt.Printf("  validators (all quadrants)        %6d of %d probed\n", o.Validators, o.Probed)
 	fmt.Printf("  Item 6 (insecure above a limit)   %6d = %5.1f %%  (paper: 59.9 %%)\n",

@@ -114,17 +114,20 @@ func TestRunSelfCheck(t *testing.T) {
 // testbed/netsim/authserver, and respop) plus the distributed-survey
 // wire path (distsurvey's codec, coordinator, and worker loops) and the
 // statewalk differential runner (ctx-guarded semaphore acquire, joined
-// workers) stay clean under the full suite, call graph included. A
+// workers) stay clean under the full suite, call graph included, as do
+// the resolver-study plan/execute/merge layers (core's shard runners
+// and report builders, analysis and compliance merge methods). A
 // regression that drops a ctx parameter, reintroduces
-// context.Background() in library code, or un-guards the frame codec's
-// length word fails here.
+// context.Background() in library code, un-guards the frame codec's
+// length word, or makes a Merge method impure fails here.
 func TestRunCleanCtxPropTargets(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	code := run([]string{
 		"../../internal/atlas", "../../internal/respop",
 		"../../internal/netsim", "../../internal/authserver",
 		"../../internal/testbed", "../../internal/distsurvey",
-		"../../internal/statewalk",
+		"../../internal/statewalk", "../../internal/core",
+		"../../internal/analysis", "../../internal/compliance",
 	}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())

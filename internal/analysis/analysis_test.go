@@ -133,7 +133,7 @@ func mkSeries() *RCodeSeries {
 
 func TestBuildRCodeSeries(t *testing.T) {
 	s := mkSeries()
-	if s.Validators != 2 || len(s.Points) != 3 {
+	if s.Validators != 2 || len(s.Points()) != 3 {
 		t.Fatalf("series %+v", s)
 	}
 	p1, ok := s.At(1)
@@ -146,6 +146,42 @@ func TestBuildRCodeSeries(t *testing.T) {
 	}
 	if _, ok := s.At(99); ok {
 		t.Fatal("At(99) hallucinated")
+	}
+}
+
+// TestRCodeSeriesMergeEquivalence: shard-local series merged in any
+// order must equal observing every transcript in one series.
+func TestRCodeSeriesMergeEquivalence(t *testing.T) {
+	whole := mkSeries()
+	mk := func(label string, n uint16, rcode dnswire.RCode, ad bool) testbed.Observation {
+		return testbed.Observation{Label: label, Iterations: n, NXProbe: true, RCode: rcode, AD: ad}
+	}
+	t3 := &testbed.Transcript{Observations: []testbed.Observation{
+		mk("it-1", 1, dnswire.RCodeNXDomain, true),
+		mk("it-4", 4, dnswire.RCodeServFail, false),
+	}}
+	whole.Observe(t3)
+
+	// Split: shard A = mkSeries' two transcripts, shard B = t3 alone,
+	// merged in both orders.
+	for _, reversed := range []bool{false, true} {
+		a := mkSeries()
+		b := NewRCodeSeries("Test, IPv4")
+		b.Observe(t3)
+		merged := NewRCodeSeries("Test, IPv4")
+		if reversed {
+			merged.Merge(b)
+			merged.Merge(a)
+		} else {
+			merged.Merge(a)
+			merged.Merge(b)
+		}
+		if merged.Validators != whole.Validators {
+			t.Fatalf("reversed=%v: validators %d != %d", reversed, merged.Validators, whole.Validators)
+		}
+		if !reflect.DeepEqual(merged.Points(), whole.Points()) {
+			t.Fatalf("reversed=%v: merged points %+v != whole %+v", reversed, merged.Points(), whole.Points())
+		}
 	}
 }
 

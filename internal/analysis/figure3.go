@@ -21,64 +21,114 @@ type RCodePoint struct {
 	SERVFAIL   float64
 }
 
-// RCodeSeries is one subfigure (one resolver quadrant).
+// RCodeCounts are the raw per-iteration response tallies an RCodeSeries
+// accumulates. Keeping counts (not percentages) is what makes the
+// series mergeable: shard series sum field-by-field, and the percent
+// view is derived on demand.
+type RCodeCounts struct {
+	NXDOMAIN   int `json:"nxdomain"`
+	ADNXDOMAIN int `json:"ad_nxdomain"`
+	SERVFAIL   int `json:"servfail"`
+}
+
+// RCodeSeries is one subfigure (one resolver quadrant), accumulated as
+// raw counts so shard-local series merge exactly.
 type RCodeSeries struct {
 	Title      string
 	Validators int
-	Points     []RCodePoint
+	// Counts maps iteration count → response tallies.
+	Counts map[int]*RCodeCounts
+}
+
+// NewRCodeSeries prepares an empty series.
+func NewRCodeSeries(title string) *RCodeSeries {
+	return &RCodeSeries{Title: title, Counts: make(map[int]*RCodeCounts)}
+}
+
+// Observe folds one validator's transcript into the tallies.
+func (s *RCodeSeries) Observe(tr *testbed.Transcript) {
+	s.Validators++
+	for _, o := range tr.ItSeries() {
+		c := s.Counts[int(o.Iterations)]
+		if c == nil {
+			c = &RCodeCounts{}
+			s.Counts[int(o.Iterations)] = c
+		}
+		switch {
+		case o.Err != nil:
+		case o.RCode == dnswire.RCodeNXDomain:
+			c.NXDOMAIN++
+			if o.AD {
+				c.ADNXDOMAIN++
+			}
+		case o.RCode == dnswire.RCodeServFail:
+			c.SERVFAIL++
+		}
+	}
+}
+
+// Merge folds another series' tallies into s. Every field is a sum, so
+// merging shard series in any order equals observing the union.
+func (s *RCodeSeries) Merge(b *RCodeSeries) {
+	if b == nil {
+		return
+	}
+	s.Validators += b.Validators
+	for n, bc := range b.Counts {
+		c := s.Counts[n]
+		if c == nil {
+			c = &RCodeCounts{}
+			s.Counts[n] = c
+		}
+		c.NXDOMAIN += bc.NXDOMAIN
+		c.ADNXDOMAIN += bc.ADNXDOMAIN
+		c.SERVFAIL += bc.SERVFAIL
+	}
 }
 
 // BuildRCodeSeries aggregates transcripts (validators only — filter
 // first) into the per-iteration response shares.
 func BuildRCodeSeries(title string, transcripts []*testbed.Transcript) *RCodeSeries {
-	s := &RCodeSeries{Title: title, Validators: len(transcripts)}
-	type counts struct{ nx, adnx, sf int }
-	byIter := map[int]*counts{}
+	s := NewRCodeSeries(title)
 	for _, tr := range transcripts {
-		for _, o := range tr.ItSeries() {
-			c := byIter[int(o.Iterations)]
-			if c == nil {
-				c = &counts{}
-				byIter[int(o.Iterations)] = c
-			}
-			switch {
-			case o.Err != nil:
-			case o.RCode == dnswire.RCodeNXDomain:
-				c.nx++
-				if o.AD {
-					c.adnx++
-				}
-			case o.RCode == dnswire.RCodeServFail:
-				c.sf++
-			}
-		}
-	}
-	iters := make([]int, 0, len(byIter))
-	for n := range byIter {
-		iters = append(iters, n)
-	}
-	sort.Ints(iters)
-	den := len(transcripts)
-	for _, n := range iters {
-		c := byIter[n]
-		s.Points = append(s.Points, RCodePoint{
-			Iterations: n,
-			NXDOMAIN:   pct(c.nx, den),
-			ADNXDOMAIN: pct(c.adnx, den),
-			SERVFAIL:   pct(c.sf, den),
-		})
+		s.Observe(tr)
 	}
 	return s
 }
 
+// Points derives the percent view, one point per probed iteration
+// count in increasing order.
+func (s *RCodeSeries) Points() []RCodePoint {
+	iters := make([]int, 0, len(s.Counts))
+	for n := range s.Counts {
+		iters = append(iters, n)
+	}
+	sort.Ints(iters)
+	points := make([]RCodePoint, 0, len(iters))
+	for _, n := range iters {
+		c := s.Counts[n]
+		points = append(points, RCodePoint{
+			Iterations: n,
+			NXDOMAIN:   pct(c.NXDOMAIN, s.Validators),
+			ADNXDOMAIN: pct(c.ADNXDOMAIN, s.Validators),
+			SERVFAIL:   pct(c.SERVFAIL, s.Validators),
+		})
+	}
+	return points
+}
+
 // At returns the point for iteration count n.
 func (s *RCodeSeries) At(n int) (RCodePoint, bool) {
-	for _, p := range s.Points {
-		if p.Iterations == n {
-			return p, true
-		}
+	c, ok := s.Counts[n]
+	if !ok {
+		return RCodePoint{}, false
 	}
-	return RCodePoint{}, false
+	return RCodePoint{
+		Iterations: n,
+		NXDOMAIN:   pct(c.NXDOMAIN, s.Validators),
+		ADNXDOMAIN: pct(c.ADNXDOMAIN, s.Validators),
+		SERVFAIL:   pct(c.SERVFAIL, s.Validators),
+	}, true
 }
 
 // RenderRCodeSeries writes the series as a table, one row per probed
@@ -86,7 +136,7 @@ func (s *RCodeSeries) At(n int) (RCodePoint, bool) {
 func RenderRCodeSeries(w io.Writer, s *RCodeSeries) {
 	fmt.Fprintf(w, "Figure 3 — %s (validators=%d)\n", s.Title, s.Validators)
 	fmt.Fprintf(w, "  %6s %10s %12s %10s\n", "it-N", "NXDOMAIN", "AD+NXDOMAIN", "SERVFAIL")
-	for _, p := range s.Points {
+	for _, p := range s.Points() {
 		fmt.Fprintf(w, "  %6d %9.1f%% %11.1f%% %9.1f%%\n",
 			p.Iterations, p.NXDOMAIN, p.ADNXDOMAIN, p.SERVFAIL)
 	}
@@ -96,9 +146,10 @@ func RenderRCodeSeries(w io.Writer, s *RCodeSeries) {
 // the probed iteration values, mimicking the visual shape of Figure 3.
 func SparkRender(w io.Writer, s *RCodeSeries) {
 	levels := []rune(" .:-=+*#%@")
+	points := s.Points()
 	line := func(name string, get func(RCodePoint) float64) {
 		fmt.Fprintf(w, "  %-12s ", name)
-		for _, p := range s.Points {
+		for _, p := range points {
 			idx := int(get(p) / 100 * float64(len(levels)-1))
 			if idx < 0 {
 				idx = 0

@@ -25,32 +25,16 @@ type Probe struct {
 	IPv6 bool
 }
 
-// Platform schedules measurements over a probe fleet.
+// Platform schedules measurements over vantage-point probes. It is
+// stateless between calls: callers hand each Measure call the probe
+// batch for the shard being executed, so the fleet never has to be
+// accumulated in memory.
 type Platform struct {
 	// Exchanger carries probe→resolver traffic.
 	Exchanger netsim.Exchanger
 	// MaxConcurrent caps simultaneous probe measurements, as the real
 	// platform does. Zero means 100.
 	MaxConcurrent int
-
-	mu     sync.Mutex
-	probes []Probe
-}
-
-// AddProbe registers a vantage point.
-func (p *Platform) AddProbe(probe Probe) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.probes = append(p.probes, probe)
-}
-
-// Probes returns a snapshot of the fleet.
-func (p *Platform) Probes() []Probe {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]Probe, len(p.probes))
-	copy(out, p.probes)
-	return out
 }
 
 // MeasurementResult pairs a probe with its resolver's transcript.
@@ -60,12 +44,12 @@ type MeasurementResult struct {
 	Err        error
 }
 
-// MeasureTestbed runs the full rfc9276 probe sequence from every
-// vantage point against its local resolver, under the platform's
-// concurrency limit. EDE options are stripped from every observation,
-// mirroring the real platform's reporting.
-func (p *Platform) MeasureTestbed(ctx context.Context, uniquePrefix string) []MeasurementResult {
-	probes := p.Probes()
+// Measure runs the full rfc9276 probe sequence from each vantage point
+// in probes against its local resolver, under the platform's
+// concurrency limit. Results are returned in probe order. EDE options
+// are stripped from every observation, mirroring the real platform's
+// reporting.
+func (p *Platform) Measure(ctx context.Context, probes []Probe, uniquePrefix string) []MeasurementResult {
 	limit := p.MaxConcurrent
 	if limit <= 0 {
 		limit = 100

@@ -33,7 +33,7 @@ func buildWorldWithResolvers(t testing.TB, n int) (*testbed.Hierarchy, []*respop
 	if err != nil {
 		t.Fatal(err)
 	}
-	instances, err := respop.Deploy(h, respop.DeployConfig{
+	planner, err := respop.NewPlanner(respop.DeployConfig{
 		Counts: map[respop.Quadrant]int{respop.ClosedIPv4: n},
 		Seed:   8,
 		Now:    func() uint32 { return 1712000000 },
@@ -41,19 +41,25 @@ func buildWorldWithResolvers(t testing.TB, n int) (*testbed.Hierarchy, []*respop
 	if err != nil {
 		t.Fatal(err)
 	}
+	instances, err := respop.DeployShard(h, planner, planner.Plan(1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
 	return h, instances
 }
 
-func TestMeasureTestbedStripsEDE(t *testing.T) {
+func probesFor(instances []*respop.Instance) []Probe {
+	probes := make([]Probe, len(instances))
+	for i, inst := range instances {
+		probes[i] = Probe{ID: i + 1, Resolver: inst.Addr}
+	}
+	return probes
+}
+
+func TestMeasureStripsEDE(t *testing.T) {
 	h, instances := buildWorldWithResolvers(t, 15)
 	p := &Platform{Exchanger: h.Net, MaxConcurrent: 4}
-	for i, inst := range instances {
-		p.AddProbe(Probe{ID: i + 1, Resolver: inst.Addr})
-	}
-	if got := len(p.Probes()); got != 15 {
-		t.Fatalf("probes = %d", got)
-	}
-	results := p.MeasureTestbed(context.Background(), "t1")
+	results := p.Measure(context.Background(), probesFor(instances), "t1")
 	if len(results) != 15 {
 		t.Fatalf("results = %d", len(results))
 	}
@@ -80,13 +86,25 @@ func TestMeasureTestbedStripsEDE(t *testing.T) {
 	}
 }
 
+// TestMeasureResultsInProbeOrder pins the ordering contract the
+// streaming study depends on: results[i] always belongs to probes[i],
+// regardless of goroutine completion order.
+func TestMeasureResultsInProbeOrder(t *testing.T) {
+	h, instances := buildWorldWithResolvers(t, 9)
+	p := &Platform{Exchanger: h.Net, MaxConcurrent: 3}
+	probes := probesFor(instances)
+	results := p.Measure(context.Background(), probes, "ord")
+	for i, r := range results {
+		if r.Probe.ID != probes[i].ID {
+			t.Fatalf("result %d carries probe %d", i, r.Probe.ID)
+		}
+	}
+}
+
 func TestMeasurementUniqueLabelsPerProbe(t *testing.T) {
 	h, instances := buildWorldWithResolvers(t, 3)
 	p := &Platform{Exchanger: h.Net}
-	for i, inst := range instances {
-		p.AddProbe(Probe{ID: i + 1, Resolver: inst.Addr})
-	}
-	results := p.MeasureTestbed(context.Background(), "u")
+	results := p.Measure(context.Background(), probesFor(instances), "u")
 	seen := map[string]bool{}
 	for _, r := range results {
 		if seen[r.Transcript.Unique] {
@@ -99,8 +117,8 @@ func TestMeasurementUniqueLabelsPerProbe(t *testing.T) {
 func TestPlatformUnreachableResolver(t *testing.T) {
 	h, _ := buildWorldWithResolvers(t, 1)
 	p := &Platform{Exchanger: h.Net}
-	p.AddProbe(Probe{ID: 99, Resolver: netsim.Addr4(10, 99, 99, 99)})
-	results := p.MeasureTestbed(context.Background(), "x")
+	results := p.Measure(context.Background(),
+		[]Probe{{ID: 99, Resolver: netsim.Addr4(10, 99, 99, 99)}}, "x")
 	// ProbeResolver records per-observation errors rather than failing
 	// outright; the transcript exists with errored observations.
 	tr := results[0].Transcript
@@ -128,19 +146,20 @@ func (blockingExchanger) Exchange(ctx context.Context, _ netip.AddrPort, _ *dnsw
 	return nil, ctx.Err()
 }
 
-// TestMeasureTestbedCancel pins the fix for the goleak finding in
-// MeasureTestbed: a probe goroutine waiting for a semaphore slot must
-// also watch ctx, so cancellation drains the pool instead of leaving
-// goroutines parked on the send forever.
-func TestMeasureTestbedCancel(t *testing.T) {
+// TestMeasureCancel pins the fix for the goleak finding in the measure
+// path: a probe goroutine waiting for a semaphore slot must also watch
+// ctx, so cancellation drains the pool instead of leaving goroutines
+// parked on the send forever.
+func TestMeasureCancel(t *testing.T) {
 	p := &Platform{Exchanger: blockingExchanger{}, MaxConcurrent: 1}
-	for i := 1; i <= 8; i++ {
-		p.AddProbe(Probe{ID: i, Resolver: netsim.Addr4(192, 0, 2, byte(i))})
+	probes := make([]Probe, 8)
+	for i := range probes {
+		probes[i] = Probe{ID: i + 1, Resolver: netsim.Addr4(192, 0, 2, byte(i+1))}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	time.AfterFunc(20*time.Millisecond, cancel)
 	done := make(chan []MeasurementResult, 1)
-	go func() { done <- p.MeasureTestbed(ctx, "cancel") }()
+	go func() { done <- p.Measure(ctx, probes, "cancel") }()
 	select {
 	case results := <-done:
 		if len(results) != 8 {
@@ -158,6 +177,6 @@ func TestMeasureTestbedCancel(t *testing.T) {
 			}
 		}
 	case <-time.After(10 * time.Second):
-		t.Fatal("MeasureTestbed did not return after cancellation")
+		t.Fatal("Measure did not return after cancellation")
 	}
 }

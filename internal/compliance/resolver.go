@@ -203,3 +203,27 @@ func (a *ResolverAggregate) Add(c ResolverClass) {
 		a.EchoRA++
 	}
 }
+
+// Merge folds another aggregate into a. Because every field is a sum
+// or a histogram of sums, merging shard aggregates in any order yields
+// the same result as classifying the union directly.
+func (a *ResolverAggregate) Merge(b *ResolverAggregate) {
+	if b == nil {
+		return
+	}
+	a.Probed += b.Probed
+	a.Validators += b.Validators
+	a.Item6 += b.Item6
+	a.Item8 += b.Item8
+	for v, n := range b.InsecureLimits {
+		a.InsecureLimits[v] += n
+	}
+	for v, n := range b.ServfailFroms {
+		a.ServfailFroms[v] += n
+	}
+	a.Item7Violations += b.Item7Violations
+	a.ThreePhase += b.ThreePhase
+	a.EDEAny += b.EDEAny
+	a.EDE27 += b.EDE27
+	a.EchoRA += b.EchoRA
+}

@@ -27,14 +27,21 @@ const (
 )
 
 // ConfigError is the typed rejection Validate returns for a
-// nonsensical SurveyConfig field.
+// nonsensical config field.
 type ConfigError struct {
+	// Config names the configuration type the field belongs to; empty
+	// means SurveyConfig.
+	Config string
 	Field  string
 	Reason string
 }
 
 func (e *ConfigError) Error() string {
-	return fmt.Sprintf("core: invalid SurveyConfig.%s: %s", e.Field, e.Reason)
+	cfg := e.Config
+	if cfg == "" {
+		cfg = "SurveyConfig"
+	}
+	return fmt.Sprintf("core: invalid %s.%s: %s", cfg, e.Field, e.Reason)
 }
 
 // Validate rejects nonsensical configurations with a *ConfigError.

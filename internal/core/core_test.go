@@ -303,7 +303,7 @@ func TestResolverStudyEndToEnd(t *testing.T) {
 	// NXDOMAIN with AD; above 150 the AD share collapses and SERVFAIL
 	// rises.
 	s := report.Series[respop.OpenIPv4]
-	if s == nil || len(s.Points) == 0 {
+	if s == nil || len(s.Points()) == 0 {
 		t.Fatal("no open IPv4 series")
 	}
 	p1, _ := s.At(1)
@@ -376,5 +376,95 @@ func TestResolverStudyCancelled(t *testing.T) {
 	}
 	if report == nil {
 		t.Fatal("nil report without error")
+	}
+}
+
+// TestResolverStudyShardEquivalence is the Figure 3 twin of
+// TestSurveyShardEquivalence: the study with Shards=1 and Shards=3 at
+// the same seed must produce byte-identical reports, the
+// order-independent obs counters must match, and — because transcripts
+// are now collected by fleet index, not goroutine completion order — a
+// repeated sharded run must reproduce its report exactly.
+func TestResolverStudyShardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end resolver study is slow")
+	}
+	run := func(shards int) (*ResolverStudyReport, *obs.Registry) {
+		t.Helper()
+		reg := obs.NewRegistry()
+		report, err := RunResolverStudy(context.Background(), ResolverStudyConfig{
+			ScaleDen: 2000, // 52 + 50 + 50 + 50 resolvers
+			Seed:     5,
+			Shards:   shards,
+			Obs:      reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report, reg
+	}
+	whole, wreg := run(1)
+	sharded, sreg := run(3)
+	if !reflect.DeepEqual(whole, sharded) {
+		t.Errorf("sharded report differs from unsharded:\nwhole:   %+v\nsharded: %+v", whole, sharded)
+	}
+	// Belt and braces: the rendered deliverables must match byte for
+	// byte (this is what the Figure 3 subfigures are printed from).
+	render := func(r *ResolverStudyReport) string {
+		var sb strings.Builder
+		for _, q := range respop.Quadrants() {
+			if s := r.Series[q]; s != nil {
+				analysis.RenderRCodeSeries(&sb, s)
+				analysis.SparkRender(&sb, s)
+			}
+		}
+		return sb.String()
+	}
+	if a, b := render(whole), render(sharded); a != b {
+		t.Errorf("rendered outputs differ:\n--- shards=1\n%s\n--- shards=3\n%s", a, b)
+	}
+	if whole.ProbeFailures != 0 || sharded.ProbeFailures != 0 {
+		t.Errorf("probe failures %d/%d, want 0", whole.ProbeFailures, sharded.ProbeFailures)
+	}
+
+	// Observability counterpart: order-independent counters equal.
+	counter := func(reg *obs.Registry, name string) uint64 {
+		return reg.Counter(name, "").Value()
+	}
+	for _, name := range []string{
+		"resolverstudy_probed_open_ipv4_total",
+		"resolverstudy_probed_open_ipv6_total",
+		"resolverstudy_probed_closed_ipv4_total",
+		"resolverstudy_probed_closed_ipv6_total",
+		"resolverstudy_zones_signed_total",
+	} {
+		w, s := counter(wreg, name), counter(sreg, name)
+		if w != s {
+			t.Errorf("%s: shards=1 %d vs shards=3 %d", name, w, s)
+		}
+		if w == 0 {
+			t.Errorf("%s never incremented", name)
+		}
+	}
+	if got := counter(wreg, "resolverstudy_probe_failures_total"); got != 0 {
+		t.Errorf("resolverstudy_probe_failures_total %d, want 0", got)
+	}
+	if got := counter(sreg, "resolverstudy_shards_completed_total"); got != 3 {
+		t.Errorf("resolverstudy_shards_completed_total %d, want 3", got)
+	}
+	// A single world signs everything fresh; three shard worlds reuse
+	// the shared testbed zones from the sign cache.
+	if counter(wreg, "resolverstudy_zones_reused_total") != 0 {
+		t.Error("unsharded study should not reuse zones")
+	}
+	if counter(sreg, "resolverstudy_zones_reused_total") == 0 {
+		t.Error("sharded study never hit the sign cache")
+	}
+
+	// Determinism pin for the ordering fix: the same sharded run twice
+	// is bit-for-bit reproducible.
+	again, _ := run(3)
+	if !reflect.DeepEqual(sharded, again) {
+		t.Error("repeated sharded run differs — transcript ordering is nondeterministic")
 	}
 }

@@ -191,10 +191,7 @@ func (run *ShardRunner) Execute(ctx context.Context, job ShardJob) (*ShardOutcom
 	}
 	dep.Hierarchy.Net.Instrument(run.reg)
 	dep.Hierarchy.Instrument(run.reg)
-	resolverAddr, err := installScanResolver(dep.Hierarchy, run.reg)
-	if err != nil {
-		return nil, err
-	}
+	resolverAddr := installScanResolver(dep.Hierarchy, run.reg)
 	sc := scanner.New(scanner.Config{
 		Exchanger: dep.Hierarchy.Net,
 		Resolver:  resolverAddr,

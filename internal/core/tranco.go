@@ -67,10 +67,7 @@ func RunTrancoStudy(ctx context.Context, cfg TrancoConfig) (*TrancoReport, error
 	if err != nil {
 		return nil, err
 	}
-	resolverAddr, err := installScanResolver(dep.Hierarchy, nil)
-	if err != nil {
-		return nil, err
-	}
+	resolverAddr := installScanResolver(dep.Hierarchy, nil)
 	sc := scanner.New(scanner.Config{
 		Exchanger: dep.Hierarchy.Net,
 		Resolver:  resolverAddr,

@@ -24,20 +24,39 @@ import (
 // entire layout.
 const manifestName = "manifest.json"
 
-// manifest pins which survey a state directory belongs to.
+// manifest pins which study a state directory belongs to. Spec is set
+// for §4.1 surveys, RSpec for §4.2 resolver studies; the config hash —
+// whose preimages are disjoint between the two kinds — is what every
+// integrity check compares.
 type manifest struct {
-	Version    int             `json:"version"`
-	ConfigHash string          `json:"config_hash"`
-	Spec       core.SurveySpec `json:"spec"`
+	Version    int                     `json:"version"`
+	ConfigHash string                  `json:"config_hash"`
+	Spec       core.SurveySpec         `json:"spec"`
+	Kind       string                  `json:"kind,omitempty"`
+	RSpec      *core.ResolverStudySpec `json:"rspec,omitempty"`
 }
 
 // Checkpoint is one completed shard's durable record: the outcome the
 // report needs plus the worker's metrics snapshot, hash-stamped so a
-// file from a different survey can never be merged.
+// file from a different study can never be merged. Exactly one of
+// Outcome (survey) and ROutcome (resolver study) is set.
 type Checkpoint struct {
-	ConfigHash string             `json:"config_hash"`
-	Outcome    *core.ShardOutcome `json:"outcome"`
-	Obs        *obs.Snapshot      `json:"obs,omitempty"`
+	ConfigHash string                     `json:"config_hash"`
+	Outcome    *core.ShardOutcome         `json:"outcome,omitempty"`
+	ROutcome   *core.ResolverShardOutcome `json:"routcome,omitempty"`
+	Obs        *obs.Snapshot              `json:"obs,omitempty"`
+}
+
+// shardIndex returns the checkpointed shard's index, refusing records
+// that carry neither or both outcome kinds.
+func (cp *Checkpoint) shardIndex() (int, bool) {
+	switch {
+	case cp.Outcome != nil && cp.ROutcome == nil:
+		return cp.Outcome.Index, true
+	case cp.ROutcome != nil && cp.Outcome == nil:
+		return cp.ROutcome.Index, true
+	}
+	return 0, false
 }
 
 // StateMismatchError is the typed refusal for resuming (or starting
@@ -77,7 +96,18 @@ type Store struct {
 // without it, the directory must not hold survey state yet. The
 // skipped count reports checkpoints dropped as corrupt.
 func OpenStore(dir string, spec core.SurveySpec, resume bool) (store *Store, cps []*Checkpoint, skipped int, err error) {
-	hash := spec.Hash()
+	return openStore(dir, spec.Hash(), manifest{Version: ProtocolVersion, ConfigHash: spec.Hash(), Spec: spec}, resume)
+}
+
+// OpenResolverStore is OpenStore for a §4.2 resolver study. The two
+// kinds share the directory layout and crash-safety machinery; the
+// disjoint config-hash preimages keep their state from ever mixing.
+func OpenResolverStore(dir string, spec core.ResolverStudySpec, resume bool) (store *Store, cps []*Checkpoint, skipped int, err error) {
+	m := manifest{Version: ProtocolVersion, ConfigHash: spec.Hash(), Kind: "resolverstudy", RSpec: &spec}
+	return openStore(dir, spec.Hash(), m, resume)
+}
+
+func openStore(dir, hash string, mf manifest, resume bool) (store *Store, cps []*Checkpoint, skipped int, err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, 0, err
 	}
@@ -109,7 +139,7 @@ func OpenStore(dir string, spec core.SurveySpec, resume bool) (store *Store, cps
 	default:
 		return nil, nil, 0, err
 	}
-	m, err := json.Marshal(manifest{Version: ProtocolVersion, ConfigHash: hash, Spec: spec})
+	m, err := json.Marshal(mf)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -128,7 +158,11 @@ func shardFile(index int) string {
 // crash at any point leaves either the previous state or the complete
 // new file, never a torn one.
 func (s *Store) Write(cp *Checkpoint) error {
-	if cp == nil || cp.Outcome == nil {
+	if cp == nil {
+		return fmt.Errorf("distsurvey: refusing to checkpoint an empty outcome")
+	}
+	index, ok := cp.shardIndex()
+	if !ok {
 		return fmt.Errorf("distsurvey: refusing to checkpoint an empty outcome")
 	}
 	cp.ConfigHash = s.hash
@@ -136,7 +170,7 @@ func (s *Store) Write(cp *Checkpoint) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(s.dir, shardFile(cp.Outcome.Index), data)
+	return writeFileAtomic(s.dir, shardFile(index), data)
 }
 
 // load scans the directory for shard checkpoints, skipping (and
@@ -158,8 +192,11 @@ func (s *Store) load() (cps []*Checkpoint, skipped int) {
 			continue
 		}
 		cp := &Checkpoint{}
-		if err := json.Unmarshal(data, cp); err != nil ||
-			cp.ConfigHash != s.hash || cp.Outcome == nil || cp.Outcome.Index != index {
+		if err := json.Unmarshal(data, cp); err != nil || cp.ConfigHash != s.hash {
+			skipped++
+			continue
+		}
+		if got, ok := cp.shardIndex(); !ok || got != index {
 			skipped++
 			continue
 		}

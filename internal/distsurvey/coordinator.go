@@ -32,6 +32,20 @@ type Config struct {
 	LeaseTTL time.Duration
 }
 
+// ResolverConfig describes one coordinated §4.2 resolver-study run —
+// the resolver-study twin of Config.
+type ResolverConfig struct {
+	// Spec is the resolved study. Workers must present the same hash.
+	Spec core.ResolverStudySpec
+	// Obs receives the merged metrics. May be nil.
+	Obs *obs.Registry
+	// StateDir/Resume: crash-safe per-shard checkpoints, as for surveys.
+	StateDir string
+	Resume   bool
+	// LeaseTTL overrides DefaultLeaseTTL.
+	LeaseTTL time.Duration
+}
+
 // lease tracks one outstanding shard grant. Epochs make grants
 // distinguishable: a result stamped with a superseded epoch is stale
 // and rejected, so a re-leased shard can never merge twice.
@@ -40,23 +54,58 @@ type lease struct {
 	deadline time.Time
 }
 
-// Coordinator leases ShardJobs to workers, merges their results, and
-// checkpoints every completed shard before acknowledging it.
+// shardMerger erases the study kind from the coordinator's merge path:
+// both report builders reject duplicates and merge order-independently,
+// which is all the lease machinery relies on. The typed report comes
+// back out through Serve / ServeResolverStudy.
+type shardMerger interface {
+	Merged(index int) bool
+	Add(cp *Checkpoint) error
+}
+
+// surveyMerger adapts core.ReportBuilder.
+type surveyMerger struct{ b *core.ReportBuilder }
+
+func (m surveyMerger) Merged(index int) bool { return m.b.Merged(index) }
+
+func (m surveyMerger) Add(cp *Checkpoint) error {
+	if cp.Outcome == nil {
+		return fmt.Errorf("distsurvey: survey coordinator got a resolver-study outcome")
+	}
+	return m.b.Add(cp.Outcome)
+}
+
+// resolverMerger adapts core.ResolverReportBuilder.
+type resolverMerger struct{ b *core.ResolverReportBuilder }
+
+func (m resolverMerger) Merged(index int) bool { return m.b.Merged(index) }
+
+func (m resolverMerger) Add(cp *Checkpoint) error {
+	if cp.ROutcome == nil {
+		return fmt.Errorf("distsurvey: resolver-study coordinator got a survey outcome")
+	}
+	return m.b.Add(cp.ROutcome)
+}
+
+// Coordinator leases shard jobs (survey or resolver-study) to workers,
+// merges their results, and checkpoints every completed shard before
+// acknowledging it.
 type Coordinator struct {
-	spec     core.SurveySpec
 	hash     string
 	reg      *obs.Registry
 	store    *Store
 	leaseTTL time.Duration
 
 	mu        sync.Mutex
-	jobs      map[int]core.ShardJob // not yet merged
-	leases    map[int]*lease        // currently granted
+	jobs      map[int]Frame  // job-frame templates, not yet merged
+	leases    map[int]*lease // currently granted
 	nextEpoch uint64
-	builder   *core.ReportBuilder
-	loaded    int           // shards recovered from checkpoints at startup
-	wake      chan struct{} // closed+replaced when a shard becomes grantable
-	done      chan struct{} // closed once every shard is merged
+	merge     shardMerger
+	survey    *core.ReportBuilder         // set for survey runs
+	resolver  *core.ResolverReportBuilder // set for resolver-study runs
+	loaded    int                         // shards recovered from checkpoints at startup
+	wake      chan struct{}               // closed+replaced when a shard becomes grantable
+	done      chan struct{}               // closed once every shard is merged
 
 	mGranted  *obs.Counter
 	mExpired  *obs.Counter
@@ -82,49 +131,114 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	ttl := cfg.LeaseTTL
+	frames := make([]Frame, len(jobs))
+	for i := range jobs {
+		frames[i] = Frame{Type: TypeJob, Job: &jobs[i]}
+	}
+	builder := core.NewReportBuilder(cfg.Spec)
+	c, err := newCoordinator(cfg.Spec.Hash(), cfg.Obs, cfg.LeaseTTL, frames, surveyMerger{builder},
+		storeOpener(cfg.StateDir, func() (*Store, []*Checkpoint, int, error) {
+			return OpenStore(cfg.StateDir, cfg.Spec, cfg.Resume)
+		}))
+	if err != nil {
+		return nil, err
+	}
+	c.survey = builder
+	return c, nil
+}
+
+// NewResolverCoordinator plans the §4.2 resolver study and prepares to
+// serve workers — NewCoordinator's resolver-study twin over the same
+// lease, checkpoint, and merge machinery.
+func NewResolverCoordinator(cfg ResolverConfig) (*Coordinator, error) {
+	jobs, err := core.PlanResolverJobs(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	frames := make([]Frame, len(jobs))
+	for i := range jobs {
+		frames[i] = Frame{Type: TypeJob, RJob: &jobs[i]}
+	}
+	builder := core.NewResolverReportBuilder(cfg.Spec)
+	c, err := newCoordinator(cfg.Spec.Hash(), cfg.Obs, cfg.LeaseTTL, frames, resolverMerger{builder},
+		storeOpener(cfg.StateDir, func() (*Store, []*Checkpoint, int, error) {
+			return OpenResolverStore(cfg.StateDir, cfg.Spec, cfg.Resume)
+		}))
+	if err != nil {
+		return nil, err
+	}
+	c.resolver = builder
+	return c, nil
+}
+
+// storeOpener returns open unchanged when a state dir is configured,
+// nil otherwise — keeping newCoordinator's "is persistence on" check in
+// one place.
+func storeOpener(dir string, open func() (*Store, []*Checkpoint, int, error)) func() (*Store, []*Checkpoint, int, error) {
+	if dir == "" {
+		return nil
+	}
+	return open
+}
+
+// jobIndex returns the shard index a job-frame template describes.
+func jobIndex(f Frame) int {
+	if f.Job != nil {
+		return f.Job.Plan.Index
+	}
+	return f.RJob.Plan.Index
+}
+
+// newCoordinator wires the kind-independent machinery: the job board,
+// lease table, counters, and checkpoint replay.
+func newCoordinator(hash string, reg *obs.Registry, ttl time.Duration, frames []Frame, merge shardMerger,
+	open func() (*Store, []*Checkpoint, int, error)) (*Coordinator, error) {
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
 	}
 	c := &Coordinator{
-		spec:      cfg.Spec,
-		hash:      cfg.Spec.Hash(),
-		reg:       cfg.Obs,
+		hash:      hash,
+		reg:       reg,
 		leaseTTL:  ttl,
-		jobs:      make(map[int]core.ShardJob, len(jobs)),
+		jobs:      make(map[int]Frame, len(frames)),
 		leases:    make(map[int]*lease),
-		builder:   core.NewReportBuilder(cfg.Spec),
+		merge:     merge,
 		wake:      make(chan struct{}),
 		done:      make(chan struct{}),
-		mGranted:  cfg.Obs.Counter("distsurvey_leases_granted_total", "shard leases granted to workers (including re-leases)"),
-		mExpired:  cfg.Obs.Counter("distsurvey_leases_expired_total", "shard leases reclaimed after heartbeat timeout or worker disconnect"),
-		mRejected: cfg.Obs.Counter("distsurvey_results_rejected_total", "shard results refused as stale or duplicate"),
-		mLoaded:   cfg.Obs.Counter("distsurvey_checkpoints_loaded_total", "completed shards recovered from the state dir on startup"),
-		mSkipped:  cfg.Obs.Counter("distsurvey_checkpoints_skipped_total", "corrupt or mismatched checkpoint files ignored on startup"),
-		mWorkers:  cfg.Obs.Counter("distsurvey_workers_connected_total", "workers that completed the hello handshake"),
+		mGranted:  reg.Counter("distsurvey_leases_granted_total", "shard leases granted to workers (including re-leases)"),
+		mExpired:  reg.Counter("distsurvey_leases_expired_total", "shard leases reclaimed after heartbeat timeout or worker disconnect"),
+		mRejected: reg.Counter("distsurvey_results_rejected_total", "shard results refused as stale or duplicate"),
+		mLoaded:   reg.Counter("distsurvey_checkpoints_loaded_total", "completed shards recovered from the state dir on startup"),
+		mSkipped:  reg.Counter("distsurvey_checkpoints_skipped_total", "corrupt or mismatched checkpoint files ignored on startup"),
+		mWorkers:  reg.Counter("distsurvey_workers_connected_total", "workers that completed the hello handshake"),
 	}
-	for _, j := range jobs {
-		c.jobs[j.Plan.Index] = j
+	for _, f := range frames {
+		c.jobs[jobIndex(f)] = f
 	}
-	if cfg.StateDir != "" {
-		store, cps, skipped, err := OpenStore(cfg.StateDir, cfg.Spec, cfg.Resume)
+	if open != nil {
+		store, cps, skipped, err := open()
 		if err != nil {
 			return nil, err
 		}
 		c.store = store
 		c.mSkipped.Add(uint64(skipped))
 		for _, cp := range cps {
-			if _, live := c.jobs[cp.Outcome.Index]; !live || c.builder.Merged(cp.Outcome.Index) {
+			index, ok := cp.shardIndex()
+			if !ok {
 				c.mSkipped.Inc()
 				continue
 			}
-			if err := c.builder.Add(cp.Outcome); err != nil {
-				return nil, fmt.Errorf("distsurvey: replaying checkpoint for shard %d: %w", cp.Outcome.Index, err)
+			if _, live := c.jobs[index]; !live || c.merge.Merged(index) {
+				c.mSkipped.Inc()
+				continue
+			}
+			if err := c.merge.Add(cp); err != nil {
+				return nil, fmt.Errorf("distsurvey: replaying checkpoint for shard %d: %w", index, err)
 			}
 			if err := c.reg.AddSnapshot(cp.Obs); err != nil {
-				return nil, fmt.Errorf("distsurvey: replaying checkpoint metrics for shard %d: %w", cp.Outcome.Index, err)
+				return nil, fmt.Errorf("distsurvey: replaying checkpoint metrics for shard %d: %w", index, err)
 			}
-			delete(c.jobs, cp.Outcome.Index)
+			delete(c.jobs, index)
 			c.loaded++
 			c.mLoaded.Inc()
 		}
@@ -136,9 +250,36 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 }
 
 // Serve accepts worker connections on ln until every shard is merged
-// (or ctx is cancelled), then returns the finished report. Serve owns
-// the listener and closes it on the way out.
+// (or ctx is cancelled), then returns the finished survey report. Serve
+// owns the listener and closes it on the way out.
 func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) (*core.SurveyReport, error) {
+	if c.survey == nil {
+		return nil, fmt.Errorf("distsurvey: Serve on a resolver-study coordinator; use ServeResolverStudy")
+	}
+	if err := c.serve(ctx, ln); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.survey.Finish(), nil
+}
+
+// ServeResolverStudy is Serve for a resolver-study coordinator.
+func (c *Coordinator) ServeResolverStudy(ctx context.Context, ln net.Listener) (*core.ResolverStudyReport, error) {
+	if c.resolver == nil {
+		return nil, fmt.Errorf("distsurvey: ServeResolverStudy on a survey coordinator; use Serve")
+	}
+	if err := c.serve(ctx, ln); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resolver.Finish(), nil
+}
+
+// serve runs the accept loop until every shard is merged (nil), ctx is
+// cancelled, or the listener dies with shards outstanding.
+func (c *Coordinator) serve(ctx context.Context, ln net.Listener) error {
 	var wg sync.WaitGroup
 	finished := make(chan struct{})
 	wg.Add(1)
@@ -168,18 +309,16 @@ func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) (*core.SurveyR
 
 	select {
 	case <-c.done:
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		return c.builder.Finish(), nil
+		return nil
 	default:
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	c.mu.Lock()
 	remaining := len(c.jobs)
 	c.mu.Unlock()
-	return nil, fmt.Errorf("distsurvey: listener closed with %d shard(s) unmerged", remaining)
+	return fmt.Errorf("distsurvey: listener closed with %d shard(s) unmerged", remaining)
 }
 
 // handleConn speaks the worker protocol on one connection. Every read
@@ -236,10 +375,11 @@ func (c *Coordinator) handleConn(ctx context.Context, conn net.Conn) {
 				_ = w.write(ctx, &Frame{Type: TypeDone}) // worker is leaving either way
 				return
 			}
-			if err := w.write(ctx, &Frame{Type: TypeJob, Job: job, Lease: epoch}); err != nil {
+			job.Lease = epoch
+			if err := w.write(ctx, &job); err != nil {
 				return
 			}
-			heldShard, heldEpoch = job.Plan.Index, epoch
+			heldShard, heldEpoch = jobIndex(job), epoch
 		case TypeHeartbeat:
 			c.extend(f.Shard, f.Lease)
 		case TypeResult:
@@ -273,8 +413,9 @@ func (c *Coordinator) readDeadline(ctx context.Context, w *wireConn) (*Frame, er
 
 // acquire blocks until a shard is grantable, every shard is merged
 // (finished=true), or ctx is cancelled. Grants go lowest-index-first
-// so runs are easy to reason about.
-func (c *Coordinator) acquire(ctx context.Context) (*core.ShardJob, uint64, bool, error) {
+// so runs are easy to reason about. The granted value is a copy of the
+// job-frame template, ready to send once stamped with the lease epoch.
+func (c *Coordinator) acquire(ctx context.Context) (Frame, uint64, bool, error) {
 	for {
 		c.mu.Lock()
 		now := time.Now()
@@ -285,7 +426,7 @@ func (c *Coordinator) acquire(ctx context.Context) (*core.ShardJob, uint64, bool
 		}
 		if len(c.jobs) == 0 {
 			c.mu.Unlock()
-			return nil, 0, true, nil
+			return Frame{}, 0, true, nil
 		}
 		wake := c.wake
 		wait := c.nextDeadlineLocked(now)
@@ -296,11 +437,11 @@ func (c *Coordinator) acquire(ctx context.Context) (*core.ShardJob, uint64, bool
 		case <-wake: // a release or merge changed the board
 		case <-c.done:
 			timer.Stop()
-			return nil, 0, true, nil
+			return Frame{}, 0, true, nil
 		case <-timer.C: // earliest lease deadline passed; re-scan
 		case <-ctx.Done():
 			timer.Stop()
-			return nil, 0, false, ctx.Err()
+			return Frame{}, 0, false, ctx.Err()
 		}
 		timer.Stop()
 	}
@@ -319,7 +460,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 }
 
 // grantLocked leases the lowest-index unleased, unmerged shard.
-func (c *Coordinator) grantLocked(now time.Time) (*core.ShardJob, uint64, bool) {
+func (c *Coordinator) grantLocked(now time.Time) (Frame, uint64, bool) {
 	indexes := make([]int, 0, len(c.jobs))
 	for index := range c.jobs {
 		if c.leases[index] == nil {
@@ -327,15 +468,14 @@ func (c *Coordinator) grantLocked(now time.Time) (*core.ShardJob, uint64, bool) 
 		}
 	}
 	if len(indexes) == 0 {
-		return nil, 0, false
+		return Frame{}, 0, false
 	}
 	sort.Ints(indexes)
 	index := indexes[0]
 	c.nextEpoch++
 	c.leases[index] = &lease{epoch: c.nextEpoch, deadline: now.Add(c.leaseTTL)}
 	c.mGranted.Inc()
-	job := c.jobs[index]
-	return &job, c.nextEpoch, true
+	return c.jobs[index], c.nextEpoch, true
 }
 
 // nextDeadlineLocked returns how long acquire may sleep before a lease
@@ -383,22 +523,23 @@ func (c *Coordinator) release(shard int, epoch uint64) {
 // resume rather than losing the shard. Stale-epoch and duplicate
 // results are rejected (accepted=false) without touching the report.
 func (c *Coordinator) complete(f *Frame) (bool, error) {
-	if f.Outcome == nil || f.Outcome.Index != f.Shard {
-		return false, fmt.Errorf("distsurvey: result frame for shard %d carries outcome %v", f.Shard, f.Outcome)
+	cp := &Checkpoint{Outcome: f.Outcome, ROutcome: f.ROutcome, Obs: f.Obs}
+	if index, ok := cp.shardIndex(); !ok || index != f.Shard {
+		return false, fmt.Errorf("distsurvey: result frame for shard %d carries no matching outcome", f.Shard)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	l := c.leases[f.Shard]
-	if l == nil || l.epoch != f.Lease || c.builder.Merged(f.Shard) {
+	if l == nil || l.epoch != f.Lease || c.merge.Merged(f.Shard) {
 		c.mRejected.Inc()
 		return false, nil
 	}
 	if c.store != nil {
-		if err := c.store.Write(&Checkpoint{Outcome: f.Outcome, Obs: f.Obs}); err != nil {
+		if err := c.store.Write(cp); err != nil {
 			return false, err
 		}
 	}
-	if err := c.builder.Add(f.Outcome); err != nil {
+	if err := c.merge.Add(cp); err != nil {
 		return false, err
 	}
 	delete(c.leases, f.Shard)

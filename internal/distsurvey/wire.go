@@ -61,8 +61,13 @@ type Frame struct {
 	Worker string `json:"worker,omitempty"`
 	// HeartbeatMS tells the worker how often to heartbeat (hello_ok).
 	HeartbeatMS int `json:"heartbeat_ms,omitempty"`
-	// Job carries the leased shard (job).
+	// Job carries the leased survey shard (job). Exactly one of Job
+	// and RJob is set on a job frame; the config hashes of the two
+	// study kinds have disjoint preimages, so a worker can never hold
+	// a lease of the wrong kind past the hello exchange.
 	Job *core.ShardJob `json:"job,omitempty"`
+	// RJob carries the leased resolver-study shard (job).
+	RJob *core.ResolverShardJob `json:"rjob,omitempty"`
 	// Lease is the lease epoch (job, heartbeat, result): a re-leased
 	// shard gets a new epoch, so results from the dead lease are
 	// recognizably stale.
@@ -73,10 +78,12 @@ type Frame struct {
 	// means the lease was stale or the shard already done — not an
 	// error, the worker just moves on.
 	Accepted bool `json:"accepted,omitempty"`
-	// Outcome and Obs carry the shard's aggregates and the worker's
-	// per-shard metrics snapshot (result).
-	Outcome *core.ShardOutcome `json:"outcome,omitempty"`
-	Obs     *obs.Snapshot      `json:"obs,omitempty"`
+	// Outcome / ROutcome and Obs carry the shard's aggregates (exactly
+	// one, matching the job kind) and the worker's per-shard metrics
+	// snapshot (result).
+	Outcome  *core.ShardOutcome         `json:"outcome,omitempty"`
+	ROutcome *core.ResolverShardOutcome `json:"routcome,omitempty"`
+	Obs      *obs.Snapshot              `json:"obs,omitempty"`
 	// Err carries the peer's refusal (error).
 	Err string `json:"err,omitempty"`
 }

@@ -23,6 +23,58 @@ type WorkerConfig struct {
 	Trace *obs.Tracer
 }
 
+// jobRunner erases the study kind from the worker loop. index rejects
+// job frames of the wrong kind; run executes one leased job into reg
+// and returns the result frame with Type, Shard, and the outcome set —
+// the loop stamps the lease epoch and sends it.
+type jobRunner interface {
+	index(f *Frame) (int, error)
+	run(ctx context.Context, f *Frame, reg *obs.Registry) (*Frame, error)
+}
+
+// surveyRunner executes §4.1 survey shards via core.ShardRunner.
+type surveyRunner struct {
+	trace *obs.Tracer
+	cache *testbed.SignCache
+}
+
+func (r *surveyRunner) index(f *Frame) (int, error) {
+	if f.Job == nil {
+		return 0, fmt.Errorf("distsurvey: job frame without a survey job")
+	}
+	return f.Job.Plan.Index, nil
+}
+
+func (r *surveyRunner) run(ctx context.Context, f *Frame, reg *obs.Registry) (*Frame, error) {
+	out, err := core.NewShardRunner(reg, r.trace, r.cache).Execute(ctx, *f.Job)
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{Type: TypeResult, Shard: out.Index, Outcome: out}, nil
+}
+
+// resolverRunner executes §4.2 resolver-study shards via
+// core.ResolverShardRunner.
+type resolverRunner struct {
+	trace *obs.Tracer
+	cache *testbed.SignCache
+}
+
+func (r *resolverRunner) index(f *Frame) (int, error) {
+	if f.RJob == nil {
+		return 0, fmt.Errorf("distsurvey: job frame without a resolver-study job")
+	}
+	return f.RJob.Plan.Index, nil
+}
+
+func (r *resolverRunner) run(ctx context.Context, f *Frame, reg *obs.Registry) (*Frame, error) {
+	out, err := core.NewResolverShardRunner(reg, r.trace, r.cache).Execute(ctx, *f.RJob)
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{Type: TypeResult, Shard: out.Index, ROutcome: out}, nil
+}
+
 // RunWorker speaks the worker side of the protocol on conn: hello,
 // then lease→execute→result until the coordinator says done. Each
 // shard executes through the exact same core.ShardRunner path
@@ -31,6 +83,20 @@ type WorkerConfig struct {
 // across jobs so repeated infrastructure zones sign once per process.
 // RunWorker owns conn and closes it on the way out.
 func RunWorker(ctx context.Context, conn net.Conn, spec core.SurveySpec, cfg WorkerConfig) error {
+	return runWorkerLoop(ctx, conn, spec.Hash(), cfg,
+		&surveyRunner{trace: cfg.Trace, cache: testbed.NewSignCache()})
+}
+
+// RunResolverWorker is RunWorker for a §4.2 resolver study: shards
+// execute through the exact same core.ResolverShardRunner path
+// RunResolverStudy uses, with the sign cache shared across jobs so the
+// testbed's 52 zones sign once per worker process.
+func RunResolverWorker(ctx context.Context, conn net.Conn, spec core.ResolverStudySpec, cfg WorkerConfig) error {
+	return runWorkerLoop(ctx, conn, spec.Hash(), cfg,
+		&resolverRunner{trace: cfg.Trace, cache: testbed.NewSignCache()})
+}
+
+func runWorkerLoop(ctx context.Context, conn net.Conn, hash string, cfg WorkerConfig, runner jobRunner) error {
 	defer func() {
 		// The coordinator treats conn death as lease release; closing is
 		// the worker's own cleanup either way.
@@ -40,7 +106,7 @@ func RunWorker(ctx context.Context, conn net.Conn, spec core.SurveySpec, cfg Wor
 	if err := w.write(ctx, &Frame{
 		Type:       TypeHello,
 		Version:    ProtocolVersion,
-		ConfigHash: spec.Hash(),
+		ConfigHash: hash,
 		Worker:     cfg.Name,
 	}); err != nil {
 		return err
@@ -61,7 +127,6 @@ func RunWorker(ctx context.Context, conn net.Conn, spec core.SurveySpec, cfg Wor
 		heartbeat = DefaultLeaseTTL / 3
 	}
 
-	cache := testbed.NewSignCache()
 	for {
 		if err := w.write(ctx, &Frame{Type: TypeLease}); err != nil {
 			return err
@@ -74,10 +139,7 @@ func RunWorker(ctx context.Context, conn net.Conn, spec core.SurveySpec, cfg Wor
 		case TypeDone:
 			return nil
 		case TypeJob:
-			if f.Job == nil {
-				return fmt.Errorf("distsurvey: job frame without a job")
-			}
-			if err := executeLease(ctx, w, f, heartbeat, cache, cfg); err != nil {
+			if err := executeLease(ctx, w, f, heartbeat, cfg, runner); err != nil {
 				return err
 			}
 		case TypeError:
@@ -90,11 +152,14 @@ func RunWorker(ctx context.Context, conn net.Conn, spec core.SurveySpec, cfg Wor
 
 // executeLease runs one leased shard, heartbeating while it executes,
 // and streams the outcome plus the shard's metrics snapshot back.
-func executeLease(ctx context.Context, w *wireConn, f *Frame, heartbeat time.Duration, cache *testbed.SignCache, cfg WorkerConfig) error {
+func executeLease(ctx context.Context, w *wireConn, f *Frame, heartbeat time.Duration, cfg WorkerConfig, runner jobRunner) error {
+	shard, err := runner.index(f)
+	if err != nil {
+		return err
+	}
 	// A fresh registry per job: its snapshot is exactly this shard's
 	// metrics delta, so the coordinator's merge is order-independent.
 	reg := obs.NewRegistry()
-	runner := core.NewShardRunner(reg, cfg.Trace, cache)
 
 	hbDone := make(chan struct{})
 	var hbWG sync.WaitGroup
@@ -108,7 +173,7 @@ func executeLease(ctx context.Context, w *wireConn, f *Frame, heartbeat time.Dur
 			case <-t.C:
 				// A failed heartbeat is not fatal here: the result write
 				// will surface the dead conn to the main loop.
-				_ = w.write(ctx, &Frame{Type: TypeHeartbeat, Shard: f.Job.Plan.Index, Lease: f.Lease})
+				_ = w.write(ctx, &Frame{Type: TypeHeartbeat, Shard: shard, Lease: f.Lease})
 			case <-hbDone:
 				return
 			case <-ctx.Done():
@@ -116,20 +181,16 @@ func executeLease(ctx context.Context, w *wireConn, f *Frame, heartbeat time.Dur
 			}
 		}
 	}()
-	out, err := runner.Execute(ctx, *f.Job)
+	result, err := runner.run(ctx, f, reg)
 	close(hbDone)
 	hbWG.Wait()
 	if err != nil {
 		return err
 	}
 
-	if err := w.write(ctx, &Frame{
-		Type:    TypeResult,
-		Shard:   out.Index,
-		Lease:   f.Lease,
-		Outcome: out,
-		Obs:     reg.Snapshot(),
-	}); err != nil {
+	result.Lease = f.Lease
+	result.Obs = reg.Snapshot()
+	if err := w.write(ctx, result); err != nil {
 		return err
 	}
 	ack, err := w.read(ctx)

@@ -1,0 +1,201 @@
+package respop
+
+import (
+	"errors"
+	"testing"
+)
+
+func testPlanner(t *testing.T, counts map[Quadrant]int, seed uint64) *Planner {
+	t.Helper()
+	p, err := NewPlanner(DeployConfig{
+		Counts: counts, Seed: seed,
+		Now: func() uint32 { return 1712000000 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPlannerIndexPurity is the contract the streaming study rests on:
+// assignment i depends only on (Seed, Counts, i) — never on shard
+// decomposition or the order assignments are derived in.
+func TestPlannerIndexPurity(t *testing.T) {
+	counts := map[Quadrant]int{OpenIPv4: 97, OpenIPv6: 13, ClosedIPv4: 7, ClosedIPv6: 5}
+	p := testPlanner(t, counts, 42)
+
+	// Reference: every assignment from a single sweep.
+	ref := make([]Assignment, p.Total())
+	for i := range ref {
+		a, err := p.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = a
+	}
+
+	// A fresh planner with the same config reproduces it exactly,
+	// even when walked via cursors over different shard decompositions.
+	for _, shards := range []int{1, 2, 3, 7, p.Total()} {
+		q := testPlanner(t, counts, 42)
+		i := 0
+		for _, plan := range q.Plan(shards) {
+			cur, err := q.Cursor(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				a, ok := cur.Next()
+				if !ok {
+					break
+				}
+				if a != ref[i] {
+					t.Fatalf("shards=%d index %d: got %+v, want %+v", shards, i, a, ref[i])
+				}
+				i++
+			}
+		}
+		if i != p.Total() {
+			t.Fatalf("shards=%d visited %d of %d", shards, i, p.Total())
+		}
+	}
+
+	// A different seed permutes profiles differently.
+	q := testPlanner(t, counts, 43)
+	same := 0
+	for i := range ref {
+		a, err := q.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Profile.Policy.Name == ref[i].Profile.Policy.Name {
+			same++
+		}
+	}
+	if same == p.Total() {
+		t.Fatal("seed change did not move any profile")
+	}
+}
+
+// TestPlannerExactCounts checks the permutation is a bijection: the
+// per-profile counts reached through At equal the largest-remainder
+// allocation exactly, and every address is unique and quadrant-typed.
+func TestPlannerExactCounts(t *testing.T) {
+	counts := map[Quadrant]int{OpenIPv4: 211, OpenIPv6: 53, ClosedIPv4: 17, ClosedIPv6: 3}
+	p := testPlanner(t, counts, 9)
+	got := map[Quadrant]map[string]int{}
+	addrs := map[string]bool{}
+	for i := 0; i < p.Total(); i++ {
+		a, err := p.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[a.Quadrant] == nil {
+			got[a.Quadrant] = map[string]int{}
+		}
+		got[a.Quadrant][a.Profile.Policy.Name]++
+		key := a.Addr.String()
+		if addrs[key] {
+			t.Fatalf("duplicate address %s at index %d", key, i)
+		}
+		addrs[key] = true
+		is6 := a.Addr.Addr().Is6()
+		want6 := a.Quadrant == OpenIPv6 || a.Quadrant == ClosedIPv6
+		if is6 != want6 {
+			t.Fatalf("index %d: IPv6=%v for quadrant %s", i, is6, a.Quadrant)
+		}
+	}
+	for _, q := range Quadrants() {
+		mix := Mix(q)
+		want := allocateCounts(mix, counts[q])
+		for i, s := range mix {
+			if got[q][s.Profile.Policy.Name] != want[i] {
+				t.Errorf("%s/%s: %d via At, want %d via allocation",
+					q, s.Profile.Policy.Name, got[q][s.Profile.Policy.Name], want[i])
+			}
+		}
+	}
+}
+
+func TestPlanDecomposition(t *testing.T) {
+	p := testPlanner(t, map[Quadrant]int{OpenIPv4: 10}, 1)
+	for _, shards := range []int{0, 1, 3, 10, 99} {
+		plans := p.Plan(shards)
+		offset := 0
+		for i, pl := range plans {
+			if pl.Index != i || pl.Offset != offset || pl.Size < 1 {
+				t.Fatalf("shards=%d: bad plan %+v at %d", shards, pl, i)
+			}
+			offset += pl.Size
+		}
+		if offset != p.Total() {
+			t.Fatalf("shards=%d: plans cover %d of %d", shards, offset, p.Total())
+		}
+	}
+	// Out-of-range plans are rejected.
+	if _, err := p.Cursor(ShardPlan{Offset: 5, Size: 6}); err == nil {
+		t.Fatal("oversized shard plan accepted")
+	}
+	if _, err := p.At(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := p.At(10); err == nil {
+		t.Fatal("past-end index accepted")
+	}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  DeployConfig
+	}{
+		{"negative", DeployConfig{Counts: map[Quadrant]int{OpenIPv4: -1}}},
+		{"unknown quadrant", DeployConfig{Counts: map[Quadrant]int{Quadrant(9): 3}}},
+		{"empty", DeployConfig{}},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: want *ConfigError, got %v", c.name, err)
+		}
+	}
+	ok := DeployConfig{Counts: map[Quadrant]int{ClosedIPv6: 2}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestPopulationCounts(t *testing.T) {
+	full := PopulationCounts(1)
+	if full[OpenIPv4]+full[OpenIPv6] != FullOpenResolvers {
+		t.Errorf("open population %d+%d != %d", full[OpenIPv4], full[OpenIPv6], FullOpenResolvers)
+	}
+	if full[ClosedIPv4]+full[ClosedIPv6] != FullClosedResolvers {
+		t.Errorf("closed population %d+%d != %d", full[ClosedIPv4], full[ClosedIPv6], FullClosedResolvers)
+	}
+	// Population dwarfs the deployed validator fleet in each quadrant.
+	deployed := DefaultCounts(1)
+	for _, q := range Quadrants() {
+		if full[q] <= deployed[q] {
+			t.Errorf("%s: population %d not above validators %d", q, full[q], deployed[q])
+		}
+	}
+}
+
+func TestFeistelBijection(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 16, 17, 1000} {
+		f := newFeistel(n, 77)
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			j := f.apply(uint64(i))
+			if j >= uint64(n) {
+				t.Fatalf("n=%d: apply(%d)=%d out of range", n, i, j)
+			}
+			if seen[j] {
+				t.Fatalf("n=%d: collision at %d", n, j)
+			}
+			seen[j] = true
+		}
+	}
+}

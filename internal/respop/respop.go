@@ -9,14 +9,8 @@
 package respop
 
 import (
-	"fmt"
-	"math/rand/v2"
-	"net/netip"
-
 	"repro/internal/dnswire"
-	"repro/internal/netsim"
 	"repro/internal/resolver"
-	"repro/internal/testbed"
 )
 
 // Profile couples a resolver policy with its modeled real-world origin.
@@ -227,13 +221,16 @@ func Mix(q Quadrant) []Share {
 			{BINDPatched, 0.014},
 			// Item 8 at 151: Cloudflare and OpenDNS forwardees.
 			{Cloudflare, 0.100}, {OpenDNS, 0.036},
-			// Item 8 at 101: Technitium (92 resolvers).
-			{Technitium, 0.001},
-			// Item 8 at 1: strict-zero boxes (418 resolvers).
-			{StrictZero, 0.004},
+			// Item 8 at 101: Technitium — weight calibrated so
+			// largest-remainder allocation at the full 105,200-validator
+			// scale yields exactly the paper's 92 resolvers.
+			{Technitium, 0.00088},
+			// Item 8 at 1: strict-zero boxes — exactly 418 resolvers at
+			// full scale, same calibration.
+			{StrictZero, 0.00397},
 			// Validators with no observable transition: AD-stripping
 			// forwarders plus a residue of no-limit pre-2021 boxes.
-			{NegativeADForwarder, 0.240}, {Legacy2018, 0.020},
+			{NegativeADForwarder, 0.24015}, {Legacy2018, 0.020},
 			{Item7Violator, 0.002},
 			{ThreePhase, 0.043},
 		}
@@ -271,14 +268,6 @@ func Mix(q Quadrant) []Share {
 	}
 }
 
-// Instance is one deployed resolver in the simulation.
-type Instance struct {
-	Addr     netip.AddrPort
-	Quadrant Quadrant
-	Profile  Profile
-	Resolver *resolver.Resolver
-}
-
 // DeployConfig sizes a resolver population.
 type DeployConfig struct {
 	// Validators per quadrant (the paper found 105.2 K open IPv4,
@@ -313,64 +302,14 @@ func DefaultCounts(den int) map[Quadrant]int {
 	}
 }
 
-// Deploy instantiates the resolver fleet on the hierarchy's network,
-// assigning profiles per the quadrant mixes, and registers each
-// resolver at a unique address. Closed resolvers are registered too —
-// reachability policy (closed = only probed via Atlas) is enforced by
-// the experiment driver, not the transport.
-//
-// Profile counts use deterministic largest-remainder allocation, so
-// shares are exact at any scale and rare profiles (Item 7 violators at
-// 0.2 %, strict-zero boxes) are present whenever the quadrant has at
-// least as many resolvers as the mix has profiles — the property the
-// paper's absolute counts (418 strict-zero boxes, 92 Technitium) rely
-// on.
-func Deploy(h *testbed.Hierarchy, cfg DeployConfig) ([]*Instance, error) {
-	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xA5A5A5A5))
-	var out []*Instance
-	nextV4 := uint32(0x0A100000) // 10.16.0.0 upward
-	nextV6 := uint32(0x20000)
-	for _, q := range []Quadrant{OpenIPv4, OpenIPv6, ClosedIPv4, ClosedIPv6} {
-		n := cfg.Counts[q]
-		mix := Mix(q)
-		assignment := allocate(mix, n)
-		// Shuffle so profile runs do not correlate with addresses.
-		rng.Shuffle(len(assignment), func(i, j int) {
-			assignment[i], assignment[j] = assignment[j], assignment[i]
-		})
-		for i := 0; i < n; i++ {
-			p := assignment[i]
-			var addr netip.AddrPort
-			switch q {
-			case OpenIPv4, ClosedIPv4:
-				nextV4++
-				addr = netip.AddrPortFrom(netip.AddrFrom4([4]byte{
-					byte(nextV4 >> 24), byte(nextV4 >> 16), byte(nextV4 >> 8), byte(nextV4),
-				}), 53)
-			default:
-				nextV6++
-				addr = netsim.Addr6(nextV6)
-			}
-			res := resolver.New(resolver.Config{
-				Roots:       h.Roots,
-				TrustAnchor: h.TrustAnchor,
-				Exchanger:   h.Net,
-				Policy:      p.Policy,
-				Now:         cfg.Now,
-			})
-			h.Net.Register(addr, res)
-			out = append(out, &Instance{Addr: addr, Quadrant: q, Profile: p, Resolver: res})
-		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("respop: empty deployment")
-	}
-	return out, nil
-}
-
-// allocate distributes n slots over the mix by largest remainder,
-// guaranteeing at least one slot per profile when n ≥ len(mix).
-func allocate(mix []Share, n int) []Profile {
+// allocateCounts distributes n slots over the mix by largest
+// remainder, guaranteeing at least one slot per profile when
+// n ≥ len(mix). The deterministic allocation keeps shares exact at any
+// scale, so rare profiles (Item 7 violators at 0.2 %, strict-zero
+// boxes) are present whenever the quadrant can hold them — the
+// property the paper's absolute counts (418 strict-zero boxes,
+// 92 Technitium) rely on.
+func allocateCounts(mix []Share, n int) []int {
 	total := 0.0
 	for _, s := range mix {
 		total += s.Weight
@@ -413,11 +352,5 @@ func allocate(mix []Share, n int) []Profile {
 			}
 		}
 	}
-	out := make([]Profile, 0, n)
-	for i, c := range counts {
-		for k := 0; k < c; k++ {
-			out = append(out, mix[i].Profile)
-		}
-	}
-	return out
+	return counts
 }

@@ -2,6 +2,7 @@ package respop
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -88,29 +89,44 @@ func TestAllocateLargestRemainder(t *testing.T) {
 		{Profile: GooglePublicDNS, Weight: 0.25},
 		{Profile: Item7Violator, Weight: 0.05},
 	}
-	out := allocate(mix, 100)
-	if len(out) != 100 {
-		t.Fatalf("allocated %d", len(out))
+	out := allocateCounts(mix, 100)
+	total := 0
+	for _, c := range out {
+		total += c
 	}
-	counts := map[string]int{}
-	for _, p := range out {
-		counts[p.Policy.Name]++
+	if total != 100 {
+		t.Fatalf("allocated %d", total)
 	}
-	if counts["bind9-2021"] != 70 || counts["google-public-dns"] != 25 || counts["item7-violator"] != 5 {
-		t.Fatalf("allocation %v", counts)
+	if out[0] != 70 || out[1] != 25 || out[2] != 5 {
+		t.Fatalf("allocation %v", out)
 	}
 	// Rare profiles get at least one slot when n >= len(mix).
 	rare := []Share{
 		{Profile: BIND2021, Weight: 0.999},
 		{Profile: Item7Violator, Weight: 0.001},
 	}
-	out = allocate(rare, 10)
-	counts = map[string]int{}
-	for _, p := range out {
-		counts[p.Policy.Name]++
+	out = allocateCounts(rare, 10)
+	if out[1] != 1 {
+		t.Fatalf("rare profile missing: %v", out)
 	}
-	if counts["item7-violator"] != 1 {
-		t.Fatalf("rare profile missing: %v", counts)
+}
+
+// TestAllocateFullScaleCalibration pins the paper's absolute counts:
+// at the full 105,200-validator open-IPv4 scale, the calibrated mix
+// must yield exactly 92 Technitium boxes and 418 strict-zero boxes
+// (§5.2).
+func TestAllocateFullScaleCalibration(t *testing.T) {
+	mix := Mix(OpenIPv4)
+	counts := allocateCounts(mix, 105200)
+	byName := map[string]int{}
+	for i, c := range counts {
+		byName[mix[i].Profile.Policy.Name] = c
+	}
+	if byName["technitium"] != 92 {
+		t.Errorf("technitium = %d, want 92", byName["technitium"])
+	}
+	if byName["strict-zero"] != 418 {
+		t.Errorf("strict-zero = %d, want 418", byName["strict-zero"])
 	}
 }
 
@@ -155,10 +171,14 @@ func buildSmallWorld(t testing.TB) *testbed.Hierarchy {
 func TestDeployCreatesWorkingResolvers(t *testing.T) {
 	h := buildSmallWorld(t)
 	counts := map[Quadrant]int{OpenIPv4: 20, OpenIPv6: 5, ClosedIPv4: 5, ClosedIPv6: 5}
-	instances, err := Deploy(h, DeployConfig{
+	p, err := NewPlanner(DeployConfig{
 		Counts: counts, Seed: 3,
 		Now: func() uint32 { return 1712000000 },
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances, err := DeployShard(h, p, p.Plan(1)[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,9 +214,8 @@ func TestDeployCreatesWorkingResolvers(t *testing.T) {
 }
 
 func TestDeployShareAccuracy(t *testing.T) {
-	h := buildSmallWorld(t)
 	n := 1000
-	instances, err := Deploy(h, DeployConfig{
+	p, err := NewPlanner(DeployConfig{
 		Counts: map[Quadrant]int{OpenIPv4: n}, Seed: 3,
 		Now: func() uint32 { return 1712000000 },
 	})
@@ -204,8 +223,12 @@ func TestDeployShareAccuracy(t *testing.T) {
 		t.Fatal(err)
 	}
 	counts := map[string]int{}
-	for _, inst := range instances {
-		counts[inst.Profile.Policy.Name]++
+	for i := 0; i < n; i++ {
+		a, err := p.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[a.Profile.Policy.Name]++
 	}
 	for _, s := range Mix(OpenIPv4) {
 		got := float64(counts[s.Profile.Policy.Name]) / float64(n)
@@ -216,9 +239,13 @@ func TestDeployShareAccuracy(t *testing.T) {
 }
 
 func TestDeployEmptyFails(t *testing.T) {
-	h := buildSmallWorld(t)
-	if _, err := Deploy(h, DeployConfig{Counts: map[Quadrant]int{}}); err == nil {
+	_, err := NewPlanner(DeployConfig{Counts: map[Quadrant]int{}})
+	if err == nil {
 		t.Fatal("empty deployment accepted")
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Field != "Counts" {
+		t.Fatalf("want *ConfigError on Counts, got %v", err)
 	}
 }
 

@@ -100,6 +100,9 @@ func InstallTestbed(b *Builder, serverAddr, serverV6 netip.AddrPort) {
 		},
 		Sign:   zone.SignConfig{Denial: zone.DenialNSEC3},
 		Server: serverAddr, ServerV6: serverV6,
+		// Identical across repeated builds: a sign cache (when the
+		// builder has one) reuses the signed zone across shard worlds.
+		Shared: true,
 	})
 	for _, sub := range Subdomains() {
 		sub := sub
@@ -118,6 +121,7 @@ func InstallTestbed(b *Builder, serverAddr, serverV6 netip.AddrPort) {
 				ExpireDenialSigs: sub.ExpireDenial,
 			},
 			Server: serverAddr, ServerV6: serverV6,
+			Shared: true,
 		})
 	}
 }
